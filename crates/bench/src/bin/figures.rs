@@ -1,0 +1,92 @@
+//! Regenerates the tables and figures of the Mellow Writes evaluation.
+//!
+//! ```text
+//! figures <target> [--full]
+//!
+//! targets: fig1 fig2 fig3 tab5 tab6 fig10 fig11 fig12 fig13 fig14
+//!          fig15 fig16 fig17 fig18 fig19 calibrate main all
+//! ```
+//!
+//! `main` runs the shared Figs. 10–17 matrix once and prints all of
+//! them; `all` additionally runs Figs. 1–3, 18, 19 and the tables.
+//! `--full` uses the publication scale (slower).
+
+use mellow_bench::figures;
+use mellow_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let target = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+
+    let needs_matrix = matches!(
+        target.as_str(),
+        "fig3" | "fig10" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "fig17"
+            | "fig19" | "main" | "all"
+    );
+    let matrix = if needs_matrix {
+        eprintln!("running the shared policy matrix (11 workloads x 9 policies)...");
+        figures::main_matrix(scale)
+    } else {
+        Vec::new()
+    };
+    let needs_statics = matches!(target.as_str(), "fig2" | "fig19" | "all");
+    let statics = if needs_statics {
+        eprintln!("running the static-latency matrix (11 workloads x 8 policies)...");
+        figures::static_matrix(scale)
+    } else {
+        Vec::new()
+    };
+
+    let print_main = |out: &mut String| {
+        out.push_str(&figures::fig3(&matrix));
+        out.push_str(&figures::fig10(&matrix));
+        out.push_str(&figures::fig11(&matrix));
+        out.push_str(&figures::fig12(&matrix));
+        out.push_str(&figures::fig13(&matrix));
+        out.push_str(&figures::fig14(&matrix));
+        out.push_str(&figures::fig15(&matrix));
+        out.push_str(&figures::fig16(&matrix));
+        out.push_str(&figures::fig17(&matrix));
+    };
+
+    let mut out = String::new();
+    match target.as_str() {
+        "fig1" => out.push_str(&figures::fig1()),
+        "tab5" | "tab6" | "tabvi" => out.push_str(&figures::tab_energy()),
+        "fig2" => out.push_str(&figures::fig2(&statics)),
+        "fig3" => out.push_str(&figures::fig3(&matrix)),
+        "fig10" => out.push_str(&figures::fig10(&matrix)),
+        "fig11" => out.push_str(&figures::fig11(&matrix)),
+        "fig12" => out.push_str(&figures::fig12(&matrix)),
+        "fig13" => out.push_str(&figures::fig13(&matrix)),
+        "fig14" => out.push_str(&figures::fig14(&matrix)),
+        "fig15" => out.push_str(&figures::fig15(&matrix)),
+        "fig16" => out.push_str(&figures::fig16(&matrix)),
+        "fig17" => out.push_str(&figures::fig17(&matrix)),
+        "fig18" => out.push_str(&figures::fig18(scale)),
+        "fig19" => out.push_str(&figures::fig19(&statics, &matrix)),
+        "calibrate" => out.push_str(&figures::calibrate(scale)),
+        "ablate" => out.push_str(&figures::ablate(scale)),
+        "graded" => out.push_str(&figures::graded(scale)),
+        "main" => print_main(&mut out),
+        "all" => {
+            out.push_str(&figures::fig1());
+            out.push_str(&figures::tab_energy());
+            out.push_str(&figures::fig2(&statics));
+            print_main(&mut out);
+            out.push_str(&figures::fig18(scale));
+            out.push_str(&figures::fig19(&statics, &matrix));
+        }
+        other => {
+            eprintln!("unknown target {other:?}; see --help in the source header");
+            std::process::exit(2);
+        }
+    }
+    println!("{out}");
+}

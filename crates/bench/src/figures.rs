@@ -1,0 +1,626 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Simulation-backed figures take the shared policy-matrix results (so
+//! `all` runs each `(workload, policy)` cell exactly once); analytic
+//! artifacts (Fig. 1, Tables V/VI) compute directly from the models.
+
+use crate::{experiment_for, run_matrix, MatrixKey, Scale};
+use mellow_core::WritePolicy;
+use mellow_engine::stats::geometric_mean;
+use mellow_memctrl::MemConfig;
+use mellow_nvm::energy::{CellKind, EnergyModel};
+use mellow_nvm::{EnduranceModel, ExpoFactor, SECONDS_PER_YEAR};
+use mellow_sim::Metrics;
+use std::fmt::Write as _;
+
+/// The Table IV workload names, in the paper's plot order.
+pub const WORKLOADS: [&str; 11] = [
+    "leslie3d",
+    "GemsFDTD",
+    "libquantum",
+    "stream",
+    "hmmer",
+    "zeusmp",
+    "bwaves",
+    "gups",
+    "milc",
+    "mcf",
+    "lbm",
+];
+
+/// The policies of Figs. 10–16, plus `Slow+SC` for Fig. 17.
+pub fn main_policies() -> Vec<WritePolicy> {
+    let mut v = WritePolicy::paper_set();
+    v.push(WritePolicy::slow().with_cancel_slow());
+    v
+}
+
+/// Runs the shared policy matrix used by Figs. 3 and 10–17.
+pub fn main_matrix(scale: Scale) -> Vec<(MatrixKey, Metrics)> {
+    run_matrix(&WORKLOADS, &main_policies(), scale)
+}
+
+fn find<'m>(
+    matrix: &'m [(MatrixKey, Metrics)],
+    workload: &str,
+    policy: &str,
+) -> Option<&'m Metrics> {
+    matrix
+        .iter()
+        .find(|(k, _)| k.workload == workload && k.policy.to_string() == policy)
+        .map(|(_, m)| m)
+}
+
+fn header(title: &str, cols: &[&str]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "\n=== {title} ===");
+    let _ = write!(s, "{:<12}", "workload");
+    for c in cols {
+        let _ = write!(s, " {c:>14}");
+    }
+    s.push('\n');
+    s
+}
+
+fn geo_row(label: &str, matrix_vals: &[Vec<f64>]) -> String {
+    let mut s = format!("{label:<12}");
+    for col in matrix_vals {
+        let positive: Vec<f64> = col.iter().copied().filter(|v| *v > 0.0).collect();
+        let g = geometric_mean(&positive).unwrap_or(0.0);
+        let _ = write!(s, " {g:>14.3}");
+    }
+    s.push('\n');
+    s
+}
+
+/// Fig. 1 — the write-latency/endurance trade-off (analytic).
+pub fn fig1() -> String {
+    let mut s = String::from("\n=== Fig. 1: write latency vs endurance (Eq. 2) ===\n");
+    let _ = writeln!(
+        s,
+        "{:<10} {:>12} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "factor", "latency(ns)", "E@1.0", "E@1.5", "E@2.0", "E@2.5", "E@3.0"
+    );
+    let factors: Vec<f64> = (4..=12).map(|i| i as f64 / 4.0).collect();
+    for f in factors {
+        let base = EnduranceModel::reram_default();
+        let _ = write!(s, "{f:<10.2} {:>12.1}", base.write_latency(f).as_ns());
+        for e in ExpoFactor::SENSITIVITY_SWEEP {
+            let m = base.with_expo_factor(e);
+            let _ = write!(s, " {:>14.3e}", m.endurance_at_factor(f));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Tables V and VI — the ReRAM energy model (analytic).
+pub fn tab_energy() -> String {
+    let mut s = String::from("\n=== Tables V/VI: per-operation memory energy (pJ) ===\n");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>12} {:>12} {:>12} {:>8}",
+        "cell", "buffer-read", "norm-write", "slow-write", "ratio"
+    );
+    for cell in CellKind::ALL {
+        let (b, n, sl, r) = EnergyModel::for_cell(cell).table_vi_row();
+        let _ = writeln!(s, "{:<8} {b:>12.1} {n:>12.1} {sl:>12.1} {r:>8.2}", cell.name());
+    }
+    s
+}
+
+/// The static-latency policy sweep of Figs. 2 and 19: fixed 1.0/1.5/
+/// 2.0/3.0× latency, with and without cancellation.
+pub fn static_policies() -> Vec<WritePolicy> {
+    vec![
+        WritePolicy::norm(),
+        WritePolicy::norm().with_cancel_normal(),
+        WritePolicy::slow().with_slow_factor(1.5),
+        WritePolicy::slow().with_slow_factor(1.5).with_cancel_slow(),
+        WritePolicy::slow().with_slow_factor(2.0),
+        WritePolicy::slow().with_slow_factor(2.0).with_cancel_slow(),
+        WritePolicy::slow().with_slow_factor(3.0),
+        WritePolicy::slow().with_slow_factor(3.0).with_cancel_slow(),
+    ]
+}
+
+/// Runs the static-latency matrix shared by Figs. 2 and 19.
+pub fn static_matrix(scale: Scale) -> Vec<(MatrixKey, Metrics)> {
+    run_matrix(&WORKLOADS, &static_policies(), scale)
+}
+
+/// Fig. 2 — static write latencies (1.0/1.5/2.0/3.0×) with and without
+/// cancellation: normalized IPC and lifetime per workload.
+pub fn fig2(statics: &[(MatrixKey, Metrics)]) -> String {
+    static_report(
+        "Fig. 2: static write latencies — IPC (normalized to Norm) and lifetime (years)",
+        statics,
+        &static_policies(),
+    )
+}
+
+fn static_report(
+    title: &str,
+    matrix: &[(MatrixKey, Metrics)],
+    policies: &[WritePolicy],
+) -> String {
+    let names: Vec<String> = policies.iter().map(|p| p.to_string()).collect();
+    let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut s = header(&format!("{title} — normalized IPC"), &cols);
+    let mut ipc_cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    let mut life_cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for w in WORKLOADS {
+        let base = find(matrix, w, &names[0]).map(|m| m.ipc).unwrap_or(1.0);
+        let _ = write!(s, "{w:<12}");
+        for (i, name) in names.iter().enumerate() {
+            if let Some(m) = find(matrix, w, name) {
+                let norm = if base > 0.0 { m.ipc / base } else { 0.0 };
+                ipc_cols[i].push(norm);
+                life_cols[i].push(m.lifetime_years);
+                let _ = write!(s, " {norm:>14.3}");
+            }
+        }
+        s.push('\n');
+    }
+    s.push_str(&geo_row("geomean", &ipc_cols));
+    s.push_str(&header("lifetime (years)", &cols));
+    for (wi, w) in WORKLOADS.iter().enumerate() {
+        let _ = write!(s, "{w:<12}");
+        for col in life_cols.iter() {
+            let _ = write!(s, " {:>14.2}", col.get(wi).copied().unwrap_or(f64::NAN));
+        }
+        s.push('\n');
+    }
+    s.push_str(&geo_row("geomean", &life_cols));
+    s
+}
+
+/// Fig. 3 — average bank utilization under normal writes.
+pub fn fig3(matrix: &[(MatrixKey, Metrics)]) -> String {
+    let mut s = String::from("\n=== Fig. 3: average bank utilization, Norm policy ===\n");
+    for w in WORKLOADS {
+        if let Some(m) = find(matrix, w, "Norm") {
+            let _ = writeln!(s, "{w:<12} {:>6.2}%", m.avg_bank_utilization * 100.0);
+        }
+    }
+    s
+}
+
+/// The per-workload, per-policy metric table shared by Figs. 10–13.
+fn policy_table<F: Fn(&Metrics, &Metrics) -> f64>(
+    title: &str,
+    matrix: &[(MatrixKey, Metrics)],
+    policies: &[&str],
+    metric: F,
+) -> String {
+    let mut s = header(title, policies);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for w in WORKLOADS {
+        let Some(base) = find(matrix, w, "Norm") else {
+            continue;
+        };
+        let _ = write!(s, "{w:<12}");
+        for (i, p) in policies.iter().enumerate() {
+            match find(matrix, w, p) {
+                Some(m) => {
+                    let v = metric(m, base);
+                    cols[i].push(v);
+                    let _ = write!(s, " {v:>14.3}");
+                }
+                None => {
+                    let _ = write!(s, " {:>14}", "-");
+                }
+            }
+        }
+        s.push('\n');
+    }
+    s.push_str(&geo_row("geomean", &cols));
+    s
+}
+
+/// The eight policies plotted in Figs. 10–16.
+pub const PLOT_POLICIES: [&str; 8] = [
+    "Norm",
+    "E-Norm+NC",
+    "E-Slow+SC",
+    "B-Mellow+SC",
+    "BE-Mellow+SC",
+    "Norm+WQ",
+    "B-Mellow+SC+WQ",
+    "BE-Mellow+SC+WQ",
+];
+
+/// Fig. 10 — IPC normalized to `Norm`.
+pub fn fig10(matrix: &[(MatrixKey, Metrics)]) -> String {
+    policy_table(
+        "Fig. 10: IPC (normalized to Norm)",
+        matrix,
+        &PLOT_POLICIES,
+        |m, base| if base.ipc > 0.0 { m.ipc / base.ipc } else { 0.0 },
+    )
+}
+
+/// Fig. 11 — lifetime in years.
+pub fn fig11(matrix: &[(MatrixKey, Metrics)]) -> String {
+    policy_table(
+        "Fig. 11: lifetime (years)",
+        matrix,
+        &PLOT_POLICIES,
+        |m, _| m.lifetime_years,
+    )
+}
+
+/// Fig. 12 — average bank utilization (%).
+pub fn fig12(matrix: &[(MatrixKey, Metrics)]) -> String {
+    policy_table(
+        "Fig. 12: average bank utilization (%)",
+        matrix,
+        &PLOT_POLICIES,
+        |m, _| m.avg_bank_utilization * 100.0,
+    )
+}
+
+/// Fig. 13 — write-drain time as % of execution.
+pub fn fig13(matrix: &[(MatrixKey, Metrics)]) -> String {
+    policy_table(
+        "Fig. 13: write-drain time (% of execution)",
+        matrix,
+        &PLOT_POLICIES,
+        |m, _| m.drain_fraction * 100.0,
+    )
+}
+
+/// Fig. 14 — memory requests from the LLC, normalized to `Norm`, broken
+/// into reads / demand writebacks / eager writebacks.
+pub fn fig14(matrix: &[(MatrixKey, Metrics)]) -> String {
+    let mut s =
+        String::from("\n=== Fig. 14: memory requests from LLC (normalized to Norm total) ===\n");
+    let _ = writeln!(
+        s,
+        "{:<12} {:<16} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "policy", "reads", "writes", "eager", "total"
+    );
+    for w in WORKLOADS {
+        let Some(base) = find(matrix, w, "Norm") else {
+            continue;
+        };
+        let (br, bw, be) = base.llc_requests();
+        let total = (br + bw + be).max(1) as f64;
+        for p in ["Norm", "BE-Mellow+SC", "BE-Mellow+SC+WQ"] {
+            if let Some(m) = find(matrix, w, p) {
+                let (r, wr, e) = m.llc_requests();
+                let _ = writeln!(
+                    s,
+                    "{w:<12} {p:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                    r as f64 / total,
+                    wr as f64 / total,
+                    e as f64 / total,
+                    (r + wr + e) as f64 / total,
+                );
+            }
+        }
+    }
+    s
+}
+
+/// Fig. 15 — requests issued to banks (cancel retries included),
+/// normalized to `Norm`.
+pub fn fig15(matrix: &[(MatrixKey, Metrics)]) -> String {
+    policy_table(
+        "Fig. 15: requests issued to banks (normalized to Norm)",
+        matrix,
+        &PLOT_POLICIES,
+        |m, base| {
+            let b = base.issued_to_banks().max(1) as f64;
+            (m.issued_to_banks() + m.ctrl.writes_cancelled) as f64 / b
+        },
+    )
+}
+
+/// Fig. 16 — main-memory energy (CellC), normalized to `Norm`.
+pub fn fig16(matrix: &[(MatrixKey, Metrics)]) -> String {
+    let model = EnergyModel::fig16_default();
+    policy_table(
+        "Fig. 16: main-memory energy, CellC (normalized to Norm)",
+        matrix,
+        &PLOT_POLICIES,
+        move |m, base| {
+            let b = base.memory_energy_pj(&model).max(1.0);
+            m.memory_energy_pj(&model) / b
+        },
+    )
+}
+
+/// Recomputes a run's lifetime under a different endurance exponent
+/// (valid for non-WQ policies; see `BankWear::wear_under`).
+pub fn lifetime_under(m: &Metrics, expo: f64, slow_factor: f64) -> f64 {
+    let cfg = MemConfig::paper_default();
+    let budget =
+        cfg.leveling_efficiency * cfg.blocks_per_bank() as f64 * 5e6;
+    m.bank_wear
+        .iter()
+        .map(|b| {
+            let wear = b.wear_under(expo, slow_factor);
+            if wear <= 0.0 {
+                f64::INFINITY
+            } else {
+                budget / (wear / m.elapsed_secs) / SECONDS_PER_YEAR
+            }
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Fig. 17 — lifetime sensitivity to `Expo_Factor` for `Slow+SC` and
+/// `BE-Mellow+SC` (geomean years over workloads, plus the ratio to
+/// `Norm`).
+pub fn fig17(matrix: &[(MatrixKey, Metrics)]) -> String {
+    let mut s = String::from(
+        "\n=== Fig. 17: lifetime sensitivity to Expo_Factor (geomean years; xN = vs Norm) ===\n",
+    );
+    let _ = writeln!(
+        s,
+        "{:<14} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "policy", "E=1.0", "E=1.5", "E=2.0", "E=2.5", "E=3.0"
+    );
+    for policy in ["Slow+SC", "BE-Mellow+SC"] {
+        let mut years_row = format!("{policy:<14}");
+        let mut ratio_row = format!("{:<14}", format!("  (x Norm)"));
+        for e in [1.0, 1.5, 2.0, 2.5, 3.0] {
+            let mut years = Vec::new();
+            let mut ratios = Vec::new();
+            for w in WORKLOADS {
+                let (Some(m), Some(norm)) = (find(matrix, w, policy), find(matrix, w, "Norm"))
+                else {
+                    continue;
+                };
+                let y = lifetime_under(m, e, 3.0);
+                let ny = lifetime_under(norm, e, 3.0);
+                if y.is_finite() && ny.is_finite() && ny > 0.0 {
+                    years.push(y);
+                    ratios.push(y / ny);
+                }
+            }
+            let gy = geometric_mean(&years).unwrap_or(0.0);
+            let gr = geometric_mean(&ratios).unwrap_or(0.0);
+            let _ = write!(years_row, " {gy:>9.2}");
+            let _ = write!(ratio_row, " {gr:>8.2}x");
+        }
+        s.push_str(&years_row);
+        s.push('\n');
+        s.push_str(&ratio_row);
+        s.push('\n');
+    }
+    s
+}
+
+/// Fig. 18 — bank-level-parallelism sensitivity on GemsFDTD: lifetime,
+/// utilization, eager writes, and issued normal writes at 16/8/4 banks.
+pub fn fig18(scale: Scale) -> String {
+    let mut s = String::from("\n=== Fig. 18: GemsFDTD vs number of banks ===\n");
+    let _ = writeln!(
+        s,
+        "{:<6} {:<14} {:>7} {:>10} {:>8} {:>12} {:>14} {:>12}",
+        "banks", "policy", "IPC", "life(yr)", "util%", "eager-wr", "norm-wr-issued", "slow-wr-issued"
+    );
+    for (banks, ranks) in [(16usize, 4usize), (8, 2), (4, 1)] {
+        for policy in [WritePolicy::norm(), WritePolicy::be_mellow_sc()] {
+            let m = experiment_for("GemsFDTD", policy, scale)
+                .configure(|c| c.mem = c.mem.clone().with_banks(banks, ranks))
+                .run();
+            let _ = writeln!(
+                s,
+                "{banks:<6} {:<14} {:>7.3} {:>10.2} {:>8.2} {:>12} {:>14} {:>12}",
+                m.policy,
+                m.ipc,
+                m.lifetime_years,
+                m.avg_bank_utilization * 100.0,
+                m.ctrl.eager_writes_accepted,
+                m.ctrl.writes_issued_normal,
+                m.ctrl.writes_issued_slow,
+            );
+        }
+    }
+    s
+}
+
+/// Fig. 19 — `BE-Mellow+SC+WQ` against the best static policy per
+/// workload (the static policy with ≥ 8-year lifetime and the best
+/// IPC).
+pub fn fig19(static_matrix: &[(MatrixKey, Metrics)], matrix: &[(MatrixKey, Metrics)]) -> String {
+    let mut s = String::from(
+        "\n=== Fig. 19: BE-Mellow+SC+WQ vs best static policy (8-year floor) ===\n",
+    );
+    let _ = writeln!(
+        s,
+        "{:<12} {:<22} {:>10} {:>12} {:>12} {:>8}",
+        "workload", "best-static", "static-IPC", "mellow-IPC", "mellow-life", "win?"
+    );
+    let mut wins = 0;
+    let mut total = 0;
+    for w in WORKLOADS {
+        let mut best: Option<(String, f64)> = None;
+        let consider = |name: String, m: &Metrics, best: &mut Option<(String, f64)>| {
+            if m.lifetime_years >= 8.0 && best.as_ref().is_none_or(|(_, ipc)| m.ipc > *ipc) {
+                *best = Some((name, m.ipc));
+            }
+        };
+        for (k, m) in static_matrix.iter().filter(|(k, _)| k.workload == w) {
+            consider(k.policy.to_string(), m, &mut best);
+        }
+        for p in ["E-Norm+NC", "E-Slow+SC"] {
+            if let Some(m) = find(matrix, w, p) {
+                consider(p.to_owned(), m, &mut best);
+            }
+        }
+        let Some(mellow) = find(matrix, w, "BE-Mellow+SC+WQ") else {
+            continue;
+        };
+        total += 1;
+        let (bname, bipc) = best.unwrap_or(("none-meets-floor".to_owned(), 0.0));
+        // "Outperforms or equals": treat a <=2% gap as a bar-chart tie.
+        let win = mellow.ipc >= bipc * 0.98;
+        wins += win as u32;
+        let _ = writeln!(
+            s,
+            "{w:<12} {bname:<22} {bipc:>10.3} {:>12.3} {:>11.2}y {:>8}",
+            mellow.ipc,
+            mellow.lifetime_years,
+            if win { "yes" } else { "no" },
+        );
+    }
+    let _ = writeln!(
+        s,
+        "BE-Mellow+SC+WQ matches (within 2%) or beats the best static policy on \
+         {wins}/{total} workloads"
+    );
+    s
+}
+
+/// Graded-latency extension study (`+GR`, the paper's §VI-I future
+/// work): on the workloads the paper says lose to the best static
+/// policy because they are latency-sensitive (hmmer, lbm, stream),
+/// compare two-level BE-Mellow against the graded variant.
+pub fn graded(scale: Scale) -> String {
+    let mut s = String::from(
+        "
+=== Extension: graded multi-latency Mellow Writes (+GR, paper future work) ===
+",
+    );
+    let _ = writeln!(
+        s,
+        "{:<12} {:<22} {:>7} {:>10} {:>10}",
+        "workload", "policy", "IPC", "life(yr)", "slow-frac"
+    );
+    // Write-queue pressure is what grading responds to; the 16-bank
+    // default rarely builds any, so the study runs the bank-starved
+    // 4-bank configuration of Fig. 18 alongside it.
+    for (banks, ranks) in [(16usize, 4usize), (4, 1)] {
+        let _ = writeln!(s, "--- {banks} banks ---");
+        for w in ["lbm", "stream", "libquantum"] {
+            for policy in [
+                WritePolicy::norm(),
+                WritePolicy::be_mellow_sc().with_wear_quota(),
+                WritePolicy::be_mellow_sc().with_wear_quota().with_graded_latency(),
+            ] {
+                let m = experiment_for(w, policy, scale)
+                    .configure(|c| c.mem = c.mem.clone().with_banks(banks, ranks))
+                    .run();
+                let _ = writeln!(
+                    s,
+                    "{w:<12} {:<22} {:>7.3} {:>10.2} {:>9.1}%",
+                    m.policy,
+                    m.ipc,
+                    m.lifetime_years,
+                    m.slow_write_fraction * 100.0
+                );
+            }
+        }
+    }
+    s
+}
+
+/// Calibration — measured MPKI and IPC under `Norm` vs Table IV targets.
+pub fn calibrate(scale: Scale) -> String {
+    let mut s = String::from("\n=== Calibration: MPKI vs Table IV (Norm policy) ===\n");
+    let _ = writeln!(
+        s,
+        "{:<12} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10}",
+        "workload", "mpki", "target", "IPC", "util%", "drain%", "life(yr)"
+    );
+    for w in WORKLOADS {
+        let m = experiment_for(w, WritePolicy::norm(), scale).run();
+        let target = mellow_workloads::WorkloadSpec::by_name(w)
+            .map(|s| s.target_mpki)
+            .unwrap_or(f64::NAN);
+        let _ = writeln!(
+            s,
+            "{w:<12} {:>10.2} {target:>10.2} {:>8.3} {:>8.2} {:>8.2} {:>10.2}",
+            m.mpki,
+            m.ipc,
+            m.avg_bank_utilization * 100.0,
+            m.drain_fraction * 100.0,
+            m.lifetime_years,
+        );
+    }
+    s
+}
+
+/// Ablation — sensitivity of the reproduction's own design knobs (the
+/// deviations documented in DESIGN.md §7): the write-cancellation
+/// completion threshold and retry cap, the Eager Mellow queue depth,
+/// and the cancelled-write wear-charging policy.
+pub fn ablate(scale: Scale) -> String {
+    use mellow_nvm::CancelWear;
+    let mut s = String::from("\n=== Ablation: reproduction design knobs (libquantum, BE-Mellow+SC) ===\n");
+    let _ = writeln!(
+        s,
+        "{:<34} {:>7} {:>10} {:>11} {:>10}",
+        "variant", "IPC", "life(yr)", "cancelled", "slow-frac"
+    );
+    let mut run = |label: &str, f: Box<dyn Fn(&mut mellow_sim::SystemConfig)>| {
+        let m = experiment_for("libquantum", WritePolicy::be_mellow_sc(), scale)
+            .configure(|c| f(c))
+            .run();
+        let _ = writeln!(
+            s,
+            "{label:<34} {:>7.3} {:>10.2} {:>11} {:>9.1}%",
+            m.ipc,
+            m.lifetime_years,
+            m.ctrl.writes_cancelled,
+            m.slow_write_fraction * 100.0
+        );
+    };
+    run("default (thr 0.75, 4 cancels)", Box::new(|_| {}));
+    run(
+        "always cancel (thr 1.0, unbounded)",
+        Box::new(|c| {
+            c.mem.cancel_threshold = 1.0;
+            c.mem.max_cancels = u32::MAX;
+        }),
+    );
+    run(
+        "never cancel (thr 0.0)",
+        Box::new(|c| c.mem.cancel_threshold = 0.0),
+    );
+    run(
+        "thr 0.5",
+        Box::new(|c| c.mem.cancel_threshold = 0.5),
+    );
+    run(
+        "single retry (max_cancels 1)",
+        Box::new(|c| c.mem.max_cancels = 1),
+    );
+    run(
+        "eager queue 4",
+        Box::new(|c| c.mem.eager_queue_cap = 4),
+    );
+    run(
+        "eager queue 64",
+        Box::new(|c| c.mem.eager_queue_cap = 64),
+    );
+    run(
+        "cancel wear: full",
+        Box::new(|c| c.cancel_wear = CancelWear::Full),
+    );
+    run(
+        "cancel wear: none",
+        Box::new(|c| c.cancel_wear = CancelWear::None),
+    );
+    run(
+        "Start-Gap psi 10",
+        Box::new(|c| c.mem.startgap_interval = 10),
+    );
+    run(
+        "+WP write pausing (extension)",
+        Box::new(|c| c.policy = c.policy.with_write_pausing()),
+    );
+    run(
+        "+WP, always yield (thr 1.0)",
+        Box::new(|c| {
+            c.policy = c.policy.with_write_pausing();
+            c.mem.cancel_threshold = 1.0;
+            c.mem.max_cancels = u32::MAX;
+        }),
+    );
+    s
+}

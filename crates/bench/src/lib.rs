@@ -1,0 +1,20 @@
+//! Benchmark harness regenerating every table and figure of the Mellow
+//! Writes evaluation.
+//!
+//! The entry point is the `figures` binary:
+//!
+//! ```text
+//! cargo run -p mellow-bench --release --bin figures -- all
+//! cargo run -p mellow-bench --release --bin figures -- fig11 --full
+//! cargo run -p mellow-bench --release --bin figures -- calibrate
+//! ```
+//!
+//! Each `figN`/`tabN` subcommand prints the same rows/series the paper
+//! reports (see DESIGN.md §4 for the experiment index). Simulation-based
+//! figures accept `--quick` (default) or `--full` scale; analytic
+//! artifacts (Fig. 1, Tables V/VI) are exact either way.
+
+pub mod figures;
+mod runner;
+
+pub use runner::{experiment_for, run_matrix, MatrixKey, Scale};

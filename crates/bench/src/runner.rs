@@ -1,0 +1,137 @@
+//! Scale-aware experiment construction and matrix running.
+
+use mellow_core::WritePolicy;
+use mellow_sim::{Experiment, Metrics};
+use mellow_workloads::WorkloadSpec;
+
+/// How much simulation to spend per `(workload, policy)` run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Instructions in the measured window.
+    pub measure: u64,
+    /// Minimum warm-up instructions.
+    pub min_warmup: u64,
+    /// Warm-up is extended so the workload misses the LLC at least this
+    /// many times its line count (the LLC must fill before dirty
+    /// evictions — i.e. memory writes — reach steady state).
+    pub llc_fills: f64,
+    /// Wear-Quota / utility-monitor sample period, scaled down with the
+    /// instruction window so quota dynamics span many periods.
+    pub sample_period: mellow_engine::Duration,
+}
+
+impl Scale {
+    /// The default scale: quick enough for a laptop-class sweep while
+    /// past warm-up transients.
+    pub fn quick() -> Self {
+        Scale {
+            measure: 400_000,
+            min_warmup: 200_000,
+            llc_fills: 1.2,
+            sample_period: mellow_engine::Duration::from_us(40),
+        }
+    }
+
+    /// The publication scale used for EXPERIMENTS.md numbers.
+    pub fn full() -> Self {
+        Scale {
+            measure: 2_000_000,
+            min_warmup: 500_000,
+            llc_fills: 1.5,
+            sample_period: mellow_engine::Duration::from_us(100),
+        }
+    }
+
+    /// Returns the warm-up instruction count for a workload with the
+    /// given expected MPKI.
+    pub fn warmup_for(&self, target_mpki: f64, llc_lines: u64) -> u64 {
+        let fills = (self.llc_fills * llc_lines as f64 * 1000.0 / target_mpki) as u64;
+        fills.max(self.min_warmup)
+    }
+}
+
+/// Builds the standard paper-configuration experiment for `(workload,
+/// policy)` at `scale`, with MPKI-aware warm-up.
+///
+/// # Panics
+///
+/// Panics if `workload` is not a Table IV preset.
+pub fn experiment_for(workload: &str, policy: WritePolicy, scale: Scale) -> Experiment {
+    let spec = WorkloadSpec::by_name(workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    Experiment::with_spec(spec, policy)
+        .warmup(scale.min_warmup)
+        .warmup_llc_fills(scale.llc_fills)
+        .instructions(scale.measure)
+        .configure(|c| {
+            c.sample_period = scale.sample_period;
+            c.mem.sample_period = scale.sample_period;
+        })
+}
+
+/// Identifies one cell of a run matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixKey {
+    /// Workload name.
+    pub workload: String,
+    /// Policy (display form is used for report lookups).
+    pub policy: WritePolicy,
+}
+
+/// Runs every `(workload, policy)` combination at `scale`, reporting
+/// progress on stderr.
+///
+/// Results are returned in workload-major order.
+pub fn run_matrix(
+    workloads: &[&str],
+    policies: &[WritePolicy],
+    scale: Scale,
+) -> Vec<(MatrixKey, Metrics)> {
+    let total = workloads.len() * policies.len();
+    let mut out = Vec::with_capacity(total);
+    let mut done = 0usize;
+    for &w in workloads {
+        for &p in policies {
+            let m = experiment_for(w, p, scale).run();
+            done += 1;
+            eprintln!("[{done}/{total}] {}", m.summary());
+            out.push((
+                MatrixKey {
+                    workload: w.to_owned(),
+                    policy: p,
+                },
+                m,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_scales_inversely_with_mpki() {
+        let s = Scale::quick();
+        let llc_lines = 32_768;
+        let heavy = s.warmup_for(56.34, llc_lines);
+        let light = s.warmup_for(1.34, llc_lines);
+        assert!(light > heavy);
+        assert!(light > 20_000_000, "hmmer-class warm-up fills the LLC");
+        assert!(heavy >= s.min_warmup);
+    }
+
+    #[test]
+    fn experiment_builder_wires_policy() {
+        let e = experiment_for("stream", WritePolicy::be_mellow_sc(), Scale::quick());
+        assert_eq!(e.config().policy, WritePolicy::be_mellow_sc());
+        assert_eq!(e.workload().name, "stream");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let _ = experiment_for("nope", WritePolicy::norm(), Scale::quick());
+    }
+}

@@ -1,0 +1,819 @@
+//! A timed, set-associative, write-back, write-allocate cache level.
+
+use crate::{AccessId, LruSet, MshrFile};
+use mellow_core::UtilityMonitor;
+use mellow_engine::{DetRng, Duration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Static configuration of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Human-readable level name (used in reports).
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Ways per set.
+    pub assoc: usize,
+    /// Line size in bytes (64 throughout the paper).
+    pub line_bytes: u64,
+    /// Lookup latency from arrival to hit response / miss forwarding.
+    pub hit_latency: Duration,
+    /// Miss-status holding registers (bounds outstanding fills).
+    pub mshrs: usize,
+    /// Input-queue capacity (requests not yet looked up).
+    pub input_capacity: usize,
+    /// Lookups completed per tick (pipelined throughput).
+    pub ports: u32,
+}
+
+impl CacheConfig {
+    /// Table I L1 D-cache: 32 KB, 4-way, 2-cycle hit, 8 MSHRs.
+    pub fn l1d() -> Self {
+        CacheConfig {
+            name: "L1D".to_owned(),
+            size_bytes: 32 << 10,
+            assoc: 4,
+            line_bytes: 64,
+            hit_latency: Duration::from_ps(2 * 500),
+            mshrs: 8,
+            input_capacity: 8,
+            ports: 2,
+        }
+    }
+
+    /// Table I L2: 256 KB, 8-way, 12-cycle hit, 12 MSHRs.
+    pub fn l2() -> Self {
+        CacheConfig {
+            name: "L2".to_owned(),
+            size_bytes: 256 << 10,
+            assoc: 8,
+            line_bytes: 64,
+            hit_latency: Duration::from_ps(12 * 500),
+            mshrs: 12,
+            input_capacity: 16,
+            ports: 1,
+        }
+    }
+
+    /// Table I L3 (LLC): 2 MB, 16-way, 35-cycle hit, 32 MSHRs.
+    pub fn llc() -> Self {
+        CacheConfig {
+            name: "LLC".to_owned(),
+            size_bytes: 2 << 20,
+            assoc: 16,
+            line_bytes: 64,
+            hit_latency: Duration::from_ps(35 * 500),
+            mshrs: 32,
+            input_capacity: 32,
+            ports: 1,
+        }
+    }
+
+    /// Returns the number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn num_sets(&self) -> u64 {
+        let lines = self.size_bytes / self.line_bytes;
+        assert_eq!(
+            lines % self.assoc as u64,
+            0,
+            "cache lines must divide evenly into sets"
+        );
+        lines / self.assoc as u64
+    }
+
+    fn validate(&self) {
+        assert!(self.size_bytes > 0, "cache size must be non-zero");
+        assert!(self.assoc > 0, "associativity must be non-zero");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(self.num_sets() > 0, "cache must have at least one set");
+    }
+}
+
+/// Counters exposed by a cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand (read/fetch/store) accesses that hit.
+    pub demand_hits: u64,
+    /// Demand accesses that missed (primary and merged).
+    pub demand_misses: u64,
+    /// Line fetches forwarded to the next level (primary misses).
+    pub fetches_down: u64,
+    /// Misses merged into an outstanding MSHR.
+    pub mshr_merges: u64,
+    /// Writebacks received from the level above.
+    pub writebacks_in: u64,
+    /// Writebacks emitted to the level below (dirty evictions).
+    pub writebacks_out: u64,
+    /// Fills received from the level below.
+    pub fills: u64,
+    /// Eager Mellow writebacks issued from this level.
+    pub eager_issued: u64,
+    /// Eager writebacks wasted (line re-dirtied before eviction).
+    pub eager_wasted: u64,
+    /// Evictions that needed no writeback thanks to an eager clean.
+    pub eager_saved_writebacks: u64,
+    /// Ticks the head of the input queue stalled on a full MSHR file.
+    pub mshr_stall_ticks: u64,
+    /// Requests rejected at the input queue (backpressure).
+    pub input_rejects: u64,
+}
+
+impl CacheStats {
+    /// Demand accesses processed (hits + misses).
+    pub fn demand_accesses(&self) -> u64 {
+        self.demand_hits + self.demand_misses
+    }
+
+    /// Miss ratio over demand accesses, or 0.0 with none.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.demand_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.demand_misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Incoming {
+    Demand {
+        id: Option<AccessId>,
+        line: u64,
+        is_store: bool,
+    },
+    Writeback {
+        line: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Timed {
+    ready: SimTime,
+    msg: Incoming,
+}
+
+#[derive(Debug)]
+struct EagerState {
+    monitor: UtilityMonitor,
+}
+
+/// A timed cache level.
+///
+/// The level is a passive component: the owner calls
+/// [`tick`](Self::tick) once per core cycle and moves messages between
+/// levels by draining the output queues (`pop_completion`,
+/// `pop_fill_up`, `peek_miss_down`/`pop_miss_down`,
+/// `peek_writeback_down`/`pop_writeback_down`) and feeding the input
+/// methods (`try_demand`, `try_fetch`, `try_writeback`,
+/// `deliver_fill`).
+///
+/// Misses allocate MSHRs (merging same-line requests); a full MSHR file
+/// stalls the input head, which backpressures the requester through the
+/// bounded input queue. The LLC additionally hosts the Eager Mellow
+/// Writes machinery: a [`UtilityMonitor`] fed by every request, and
+/// [`eager_candidate`](Self::eager_candidate) which emits the next
+/// useless dirty line to write back eagerly.
+///
+/// # Examples
+///
+/// ```
+/// use mellow_cache::{AccessId, Cache, CacheConfig};
+/// use mellow_engine::SimTime;
+///
+/// let mut l1 = Cache::new(CacheConfig::l1d());
+/// let t0 = SimTime::ZERO;
+/// assert!(l1.try_demand(AccessId(1), 0x40, false, t0));
+/// // After the 2-cycle hit latency the lookup resolves as a miss and a
+/// // fetch appears on the downward port.
+/// let t1 = SimTime::from_ns(1);
+/// l1.tick(t1);
+/// assert_eq!(l1.peek_miss_down(), Some(0x40));
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    num_sets: u64,
+    sets: Vec<LruSet>,
+    mshrs: MshrFile,
+    input: VecDeque<Timed>,
+    completions: VecDeque<AccessId>,
+    fills_up: VecDeque<u64>,
+    miss_down: VecDeque<u64>,
+    wb_down: VecDeque<u64>,
+    eager: Option<EagerState>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let num_sets = cfg.num_sets();
+        let sets = (0..num_sets).map(|_| LruSet::new(cfg.assoc)).collect();
+        let mshrs = MshrFile::new(cfg.mshrs);
+        Cache {
+            num_sets,
+            sets,
+            mshrs,
+            input: VecDeque::with_capacity(cfg.input_capacity),
+            completions: VecDeque::new(),
+            fills_up: VecDeque::new(),
+            miss_down: VecDeque::new(),
+            wb_down: VecDeque::new(),
+            eager: None,
+            stats: CacheStats::default(),
+            cfg,
+        }
+    }
+
+    /// Attaches the Eager Mellow Writes utility monitor (normally only on
+    /// the LLC).
+    pub fn enable_eager(&mut self) {
+        self.eager = Some(EagerState {
+            monitor: UtilityMonitor::new(self.cfg.assoc),
+        });
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Returns the counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Zeroes the counters (end-of-warmup measurement boundary). Cache
+    /// contents, MSHRs and in-flight requests are preserved.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Returns `true` when the input queue is empty (the "LLC idle"
+    /// condition of §IV-B1).
+    pub fn input_idle(&self) -> bool {
+        self.input.is_empty()
+    }
+
+    #[inline]
+    fn set_and_tag(&self, line: u64) -> (usize, u64) {
+        ((line % self.num_sets) as usize, line / self.num_sets)
+    }
+
+    #[inline]
+    fn line_addr(&self, set: usize, tag: u64) -> u64 {
+        tag * self.num_sets + set as u64
+    }
+
+    fn try_push(&mut self, msg: Incoming, now: SimTime) -> bool {
+        if self.input.len() >= self.cfg.input_capacity {
+            self.stats.input_rejects += 1;
+            return false;
+        }
+        self.input.push_back(Timed {
+            ready: now + self.cfg.hit_latency,
+            msg,
+        });
+        true
+    }
+
+    /// Offers a demand access carrying a requester id (the core→L1
+    /// interface). Returns `false` when the input queue is full.
+    pub fn try_demand(&mut self, id: AccessId, line: u64, is_store: bool, now: SimTime) -> bool {
+        self.try_push(
+            Incoming::Demand {
+                id: Some(id),
+                line,
+                is_store,
+            },
+            now,
+        )
+    }
+
+    /// Offers an id-less line fetch from the cache above. Returns
+    /// `false` when the input queue is full.
+    pub fn try_fetch(&mut self, line: u64, now: SimTime) -> bool {
+        self.try_push(
+            Incoming::Demand {
+                id: None,
+                line,
+                is_store: false,
+            },
+            now,
+        )
+    }
+
+    /// Offers a writeback from the cache above. Returns `false` when the
+    /// input queue is full.
+    pub fn try_writeback(&mut self, line: u64, now: SimTime) -> bool {
+        self.try_push(Incoming::Writeback { line }, now)
+    }
+
+    /// Delivers a fill from the level below, resolving the line's MSHR:
+    /// the line installs, merged stores dirty it, merged demand ids
+    /// complete, and the fill propagates upward if the level above waits
+    /// on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MSHR is outstanding for `line` (protocol violation).
+    pub fn deliver_fill(&mut self, line: u64, _now: SimTime) {
+        self.stats.fills += 1;
+        let entry = self
+            .mshrs
+            .take(line)
+            .expect("fill for line without outstanding MSHR");
+        self.install(line);
+        if entry.any_store {
+            self.mark_dirty(line);
+        }
+        for id in entry.ids {
+            self.completions.push_back(id);
+        }
+        if entry.from_above {
+            self.fills_up.push_back(line);
+        }
+    }
+
+    /// Installs `line` (clean, MRU) unless already present, handling the
+    /// victim.
+    fn install(&mut self, line: u64) {
+        let (set_idx, tag) = self.set_and_tag(line);
+        if self.sets[set_idx].probe(tag).is_some() {
+            return; // e.g. a writeback installed it while the fill was in flight
+        }
+        if let Some(victim) = self.sets[set_idx].insert(tag) {
+            let victim_line = self.line_addr(set_idx, victim.tag);
+            if victim.dirty {
+                self.stats.writebacks_out += 1;
+                self.wb_down.push_back(victim_line);
+            } else if victim.eager_cleaned {
+                self.stats.eager_saved_writebacks += 1;
+            }
+        }
+    }
+
+    fn mark_dirty(&mut self, line: u64) {
+        let (set_idx, tag) = self.set_and_tag(line);
+        let state = self.sets[set_idx]
+            .state_mut(tag)
+            .expect("mark_dirty of absent line");
+        if state.eager_cleaned {
+            self.stats.eager_wasted += 1;
+            state.eager_cleaned = false;
+        }
+        state.dirty = true;
+    }
+
+    /// Advances the cache by one tick, performing up to `ports` lookups
+    /// whose latency has elapsed.
+    pub fn tick(&mut self, now: SimTime) {
+        for _ in 0..self.cfg.ports {
+            let Some(head) = self.input.front() else {
+                break;
+            };
+            if head.ready > now {
+                break;
+            }
+            match head.msg {
+                Incoming::Demand { id, line, is_store } => {
+                    if !self.process_demand(id, line, is_store) {
+                        // MSHR full: stall the head and retry next tick.
+                        self.stats.mshr_stall_ticks += 1;
+                        break;
+                    }
+                }
+                Incoming::Writeback { line } => self.process_writeback(line),
+            }
+            self.input.pop_front();
+        }
+    }
+
+    /// Returns `false` when the demand cannot proceed (MSHR file full).
+    fn process_demand(&mut self, id: Option<AccessId>, line: u64, is_store: bool) -> bool {
+        let (set_idx, tag) = self.set_and_tag(line);
+        if let Some(pos) = self.sets[set_idx].probe(tag) {
+            if let Some(e) = &mut self.eager {
+                e.monitor.record_hit(pos);
+            }
+            self.sets[set_idx].touch(tag);
+            if is_store {
+                self.mark_dirty(line);
+            }
+            self.stats.demand_hits += 1;
+            match id {
+                Some(id) => self.completions.push_back(id),
+                None => self.fills_up.push_back(line),
+            }
+            return true;
+        }
+        // Miss: merge into an outstanding fill or allocate a new one.
+        if self.mshrs.contains(line) {
+            let entry = self.mshrs.entry_mut(line).expect("checked contains");
+            match id {
+                Some(id) => entry.ids.push(id),
+                None => entry.from_above = true,
+            }
+            entry.any_store |= is_store;
+            if let Some(e) = &mut self.eager {
+                e.monitor.record_miss();
+            }
+            self.stats.demand_misses += 1;
+            self.stats.mshr_merges += 1;
+            return true;
+        }
+        if self.mshrs.is_full() {
+            return false;
+        }
+        let entry = self.mshrs.allocate(line).expect("not full");
+        match id {
+            Some(id) => entry.ids.push(id),
+            None => entry.from_above = true,
+        }
+        entry.any_store |= is_store;
+        if let Some(e) = &mut self.eager {
+            e.monitor.record_miss();
+        }
+        self.stats.demand_misses += 1;
+        self.stats.fetches_down += 1;
+        self.miss_down.push_back(line);
+        true
+    }
+
+    fn process_writeback(&mut self, line: u64) {
+        self.stats.writebacks_in += 1;
+        let (set_idx, tag) = self.set_and_tag(line);
+        if let Some(pos) = self.sets[set_idx].probe(tag) {
+            if let Some(e) = &mut self.eager {
+                e.monitor.record_hit(pos);
+            }
+            self.sets[set_idx].touch(tag);
+            self.mark_dirty(line);
+        } else {
+            if let Some(e) = &mut self.eager {
+                e.monitor.record_miss();
+            }
+            // A full-line writeback installs without fetching.
+            self.install(line);
+            self.mark_dirty(line);
+        }
+    }
+
+    /// Removes and returns the next completed demand id (top-level
+    /// interface).
+    pub fn pop_completion(&mut self) -> Option<AccessId> {
+        self.completions.pop_front()
+    }
+
+    /// Removes and returns the next line available for the level above.
+    pub fn pop_fill_up(&mut self) -> Option<u64> {
+        self.fills_up.pop_front()
+    }
+
+    /// Returns the next line fetch for the level below without removing
+    /// it.
+    pub fn peek_miss_down(&self) -> Option<u64> {
+        self.miss_down.front().copied()
+    }
+
+    /// Removes the fetch returned by [`peek_miss_down`](Self::peek_miss_down).
+    pub fn pop_miss_down(&mut self) -> Option<u64> {
+        self.miss_down.pop_front()
+    }
+
+    /// Returns the next writeback for the level below without removing
+    /// it.
+    pub fn peek_writeback_down(&self) -> Option<u64> {
+        self.wb_down.front().copied()
+    }
+
+    /// Removes the writeback returned by
+    /// [`peek_writeback_down`](Self::peek_writeback_down).
+    pub fn pop_writeback_down(&mut self) -> Option<u64> {
+        self.wb_down.pop_front()
+    }
+
+    /// Ends a utility-monitor profiling period (call every `T_sample`).
+    ///
+    /// Returns the new eager position, or `None` when the monitor is not
+    /// enabled.
+    pub fn sample_utility(&mut self) -> Option<usize> {
+        self.eager.as_mut().map(|e| e.monitor.sample())
+    }
+
+    /// Returns the current eager position (`assoc` = none useless).
+    pub fn eager_position(&self) -> Option<usize> {
+        self.eager.as_ref().map(|e| e.monitor.eager_position())
+    }
+
+    /// Probes one random set for a useless dirty line (§IV-B1): if
+    /// found, the line is marked clean *without eviction* and its address
+    /// returned for enqueueing as an Eager Mellow Write.
+    ///
+    /// Call only when the LLC is idle and the Eager Mellow Queue has
+    /// room; returns `None` when the monitor is disabled or the probed
+    /// set has no candidate.
+    pub fn eager_candidate(&mut self, rng: &mut DetRng) -> Option<u64> {
+        let floor = self.eager.as_ref()?.monitor.eager_position();
+        if floor >= self.cfg.assoc {
+            return None;
+        }
+        let set_idx = rng.below(self.num_sets) as usize;
+        let (_pos, tag) = self.sets[set_idx].eager_candidate(floor)?;
+        let state = self.sets[set_idx]
+            .state_mut(tag)
+            .expect("candidate line present");
+        state.dirty = false;
+        state.eager_cleaned = true;
+        self.stats.eager_issued += 1;
+        Some(self.line_addr(set_idx, tag))
+    }
+
+    /// Direct state inspection for tests: `(dirty, eager_cleaned)` of a
+    /// line, when resident.
+    pub fn line_state(&self, line: u64) -> Option<(bool, bool)> {
+        let (set_idx, tag) = self.set_and_tag(line);
+        self.sets[set_idx]
+            .state(tag)
+            .map(|s| (s.dirty, s.eager_cleaned))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> CacheConfig {
+        CacheConfig {
+            name: "tiny".to_owned(),
+            size_bytes: 4 * 64 * 2, // 4 sets, 2-way
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: Duration::from_ns(1),
+            mshrs: 2,
+            input_capacity: 4,
+            ports: 1,
+        }
+    }
+
+    fn run(cache: &mut Cache, upto_ns: u64) {
+        for ns in 0..=upto_ns {
+            cache.tick(SimTime::from_ns(ns));
+        }
+    }
+
+    #[test]
+    fn geometry_of_paper_configs() {
+        assert_eq!(CacheConfig::l1d().num_sets(), 128);
+        assert_eq!(CacheConfig::l2().num_sets(), 512);
+        assert_eq!(CacheConfig::llc().num_sets(), 2048);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = Cache::new(tiny_cfg());
+        assert!(c.try_demand(AccessId(1), 100, false, SimTime::ZERO));
+        run(&mut c, 2);
+        assert_eq!(c.pop_miss_down(), Some(100));
+        assert_eq!(c.stats().demand_misses, 1);
+        assert!(c.pop_completion().is_none());
+
+        c.deliver_fill(100, SimTime::from_ns(50));
+        assert_eq!(c.pop_completion(), Some(AccessId(1)));
+
+        // Second access hits.
+        assert!(c.try_demand(AccessId(2), 100, false, SimTime::from_ns(60)));
+        run(&mut c, 62);
+        assert_eq!(c.pop_completion(), Some(AccessId(2)));
+        assert_eq!(c.stats().demand_hits, 1);
+        assert!(c.peek_miss_down().is_none());
+    }
+
+    #[test]
+    fn same_line_misses_merge() {
+        let mut c = Cache::new(tiny_cfg());
+        c.try_demand(AccessId(1), 100, false, SimTime::ZERO);
+        c.try_demand(AccessId(2), 100, true, SimTime::ZERO);
+        run(&mut c, 2);
+        // Only one fetch downstream.
+        assert_eq!(c.pop_miss_down(), Some(100));
+        assert!(c.pop_miss_down().is_none());
+        assert_eq!(c.stats().mshr_merges, 1);
+
+        c.deliver_fill(100, SimTime::from_ns(10));
+        let mut done = vec![];
+        while let Some(id) = c.pop_completion() {
+            done.push(id);
+        }
+        assert_eq!(done, vec![AccessId(1), AccessId(2)]);
+        // The merged store dirtied the line.
+        assert_eq!(c.line_state(100), Some((true, false)));
+    }
+
+    #[test]
+    fn store_miss_write_allocates_dirty() {
+        let mut c = Cache::new(tiny_cfg());
+        c.try_demand(AccessId(1), 7, true, SimTime::ZERO);
+        run(&mut c, 2);
+        c.deliver_fill(7, SimTime::from_ns(10));
+        assert_eq!(c.line_state(7), Some((true, false)));
+    }
+
+    #[test]
+    fn dirty_eviction_emits_writeback() {
+        let mut c = Cache::new(tiny_cfg());
+        // Lines 0, 4, 8 map to set 0 (4 sets). Dirty line 0, then evict it.
+        for (i, line) in [0u64, 4, 8].iter().enumerate() {
+            c.try_demand(AccessId(i as u64), *line, *line == 0, SimTime::ZERO);
+            run(&mut c, 2);
+            // Drain the fetch and fill immediately.
+            while c.pop_miss_down().is_some() {}
+            c.deliver_fill(*line, SimTime::from_ns(3));
+        }
+        // 2-way set: inserting 8 evicted 0 (LRU, dirty).
+        assert_eq!(c.pop_writeback_down(), Some(0));
+        assert_eq!(c.stats().writebacks_out, 1);
+        assert!(c.line_state(0).is_none());
+    }
+
+    #[test]
+    fn writeback_in_installs_dirty_without_fetch() {
+        let mut c = Cache::new(tiny_cfg());
+        assert!(c.try_writeback(42, SimTime::ZERO));
+        run(&mut c, 2);
+        assert_eq!(c.line_state(42), Some((true, false)));
+        assert!(c.peek_miss_down().is_none(), "no fetch for full-line WB");
+        assert_eq!(c.stats().writebacks_in, 1);
+    }
+
+    #[test]
+    fn fetch_from_above_returns_fill_up() {
+        let mut c = Cache::new(tiny_cfg());
+        assert!(c.try_fetch(5, SimTime::ZERO));
+        run(&mut c, 2);
+        assert_eq!(c.pop_miss_down(), Some(5));
+        c.deliver_fill(5, SimTime::from_ns(9));
+        assert_eq!(c.pop_fill_up(), Some(5));
+        // Hits from above also surface as fills-up.
+        assert!(c.try_fetch(5, SimTime::from_ns(10)));
+        run(&mut c, 12);
+        assert_eq!(c.pop_fill_up(), Some(5));
+    }
+
+    #[test]
+    fn mshr_full_stalls_head_until_fill() {
+        let mut c = Cache::new(tiny_cfg()); // 2 MSHRs
+        c.try_demand(AccessId(1), 1, false, SimTime::ZERO);
+        c.try_demand(AccessId(2), 2, false, SimTime::ZERO);
+        c.try_demand(AccessId(3), 3, false, SimTime::ZERO);
+        run(&mut c, 5);
+        // Only two fetches could allocate.
+        assert_eq!(c.pop_miss_down(), Some(1));
+        assert_eq!(c.pop_miss_down(), Some(2));
+        assert!(c.pop_miss_down().is_none());
+        assert!(c.stats().mshr_stall_ticks > 0);
+
+        c.deliver_fill(1, SimTime::from_ns(6));
+        run(&mut c, 8);
+        assert_eq!(c.pop_miss_down(), Some(3), "stalled head proceeds");
+    }
+
+    #[test]
+    fn input_queue_rejects_when_full() {
+        let mut c = Cache::new(tiny_cfg()); // capacity 4
+        for i in 0..4 {
+            assert!(c.try_demand(AccessId(i), i, false, SimTime::ZERO));
+        }
+        assert!(!c.try_demand(AccessId(9), 9, false, SimTime::ZERO));
+        assert_eq!(c.stats().input_rejects, 1);
+    }
+
+    #[test]
+    fn hit_latency_respected() {
+        let mut c = Cache::new(tiny_cfg());
+        c.try_writeback(1, SimTime::ZERO);
+        run(&mut c, 2);
+        c.try_demand(AccessId(1), 1, false, SimTime::from_ns(10));
+        // Not ready before 11 ns.
+        c.tick(SimTime::from_ns(10));
+        assert!(c.pop_completion().is_none());
+        c.tick(SimTime::from_ns(11));
+        assert_eq!(c.pop_completion(), Some(AccessId(1)));
+    }
+
+    #[test]
+    fn eager_candidate_cleans_without_eviction() {
+        let mut c = Cache::new(tiny_cfg());
+        c.enable_eager();
+        // Dirty a line, then make everything "useless" via an all-miss
+        // profile.
+        c.try_writeback(3, SimTime::ZERO);
+        run(&mut c, 2);
+        for i in 0..100u64 {
+            // A fresh line every iteration keeps the profile all-miss.
+            let line = 1000 + 16 * i; // distinct sets, never revisited
+            c.try_demand(AccessId(99), line, false, SimTime::from_ns(5));
+            run(&mut c, 7);
+            if c.pop_miss_down().is_some() {
+                c.deliver_fill(line, SimTime::from_ns(8));
+            }
+            c.pop_completion();
+        }
+        assert_eq!(c.sample_utility(), Some(0), "all-miss => everything useless");
+
+        let mut rng = DetRng::seed_from(1);
+        let mut found = None;
+        for _ in 0..64 {
+            if let Some(line) = c.eager_candidate(&mut rng) {
+                found = Some(line);
+                break;
+            }
+        }
+        assert_eq!(found, Some(3));
+        assert_eq!(c.line_state(3), Some((false, true)), "clean, not evicted");
+        assert_eq!(c.stats().eager_issued, 1);
+
+        // Re-dirtying the line counts as a wasted eager write.
+        c.try_writeback(3, SimTime::from_us(1));
+        run(&mut c, 1001);
+        assert_eq!(c.stats().eager_wasted, 1);
+        assert_eq!(c.line_state(3), Some((true, false)));
+    }
+
+    #[test]
+    fn eager_disabled_yields_no_candidates() {
+        let mut c = Cache::new(tiny_cfg());
+        let mut rng = DetRng::seed_from(2);
+        assert!(c.eager_candidate(&mut rng).is_none());
+        assert!(c.sample_utility().is_none());
+        assert!(c.eager_position().is_none());
+    }
+
+    #[test]
+    fn saved_writeback_counted_on_clean_eviction() {
+        let mut c = Cache::new(tiny_cfg());
+        c.enable_eager();
+        // Install dirty line 0 in set 0, eagerly clean it, then evict it
+        // with lines 4 and 8.
+        c.try_writeback(0, SimTime::ZERO);
+        run(&mut c, 2);
+        // Train the monitor to mark everything useless.
+        for i in 0..50u64 {
+            let line = 1001 + 16 * i; // set 1, never revisited: all-miss
+            c.try_fetch(line, SimTime::from_ns(3));
+            run(&mut c, 5);
+            if c.pop_miss_down().is_some() {
+                c.deliver_fill(line, SimTime::from_ns(6));
+            }
+            c.pop_fill_up();
+        }
+        c.sample_utility();
+        let mut rng = DetRng::seed_from(3);
+        let mut cleaned = false;
+        for _ in 0..64 {
+            if c.eager_candidate(&mut rng) == Some(0) {
+                cleaned = true;
+                break;
+            }
+        }
+        assert!(cleaned);
+        for line in [4u64, 8] {
+            c.try_fetch(line, SimTime::from_ns(100));
+            run(&mut c, 102);
+            while c.pop_miss_down().is_some() {}
+            c.deliver_fill(line, SimTime::from_ns(103));
+        }
+        assert!(c.line_state(0).is_none(), "line 0 evicted");
+        assert_eq!(c.stats().eager_saved_writebacks, 1);
+        assert!(c.peek_writeback_down().is_none(), "no WB for clean line");
+    }
+
+    #[test]
+    fn miss_ratio_helper() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        s.demand_hits = 3;
+        s.demand_misses = 1;
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "without outstanding MSHR")]
+    fn unexpected_fill_panics() {
+        let mut c = Cache::new(tiny_cfg());
+        c.deliver_fill(1, SimTime::ZERO);
+    }
+}

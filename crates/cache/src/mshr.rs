@@ -1,0 +1,161 @@
+//! Miss-status holding registers.
+
+use crate::AccessId;
+use std::collections::HashMap;
+
+/// One outstanding line fill.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MshrEntry {
+    /// Demand requests (with requester identity) merged into this fill.
+    pub ids: Vec<AccessId>,
+    /// Whether an id-less fetch from the cache above merged in (the fill
+    /// must propagate upward).
+    pub from_above: bool,
+    /// Whether any merged request was a store (the installed line starts
+    /// dirty).
+    pub any_store: bool,
+}
+
+/// A bounded file of outstanding misses, keyed by line address.
+///
+/// Requests to a line with an outstanding fill merge into the existing
+/// entry (no duplicate fetch); new lines allocate an entry if capacity
+/// allows.
+///
+/// # Examples
+///
+/// ```
+/// use mellow_cache::{AccessId, MshrFile};
+///
+/// let mut mshrs = MshrFile::new(2);
+/// assert!(mshrs.allocate(0x40).is_some());
+/// mshrs.entry_mut(0x40).unwrap().ids.push(AccessId(1));
+/// // A second miss on the same line merges rather than allocating.
+/// assert!(mshrs.contains(0x40));
+/// let entry = mshrs.take(0x40).unwrap();
+/// assert_eq!(entry.ids, vec![AccessId(1)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MshrFile {
+    entries: HashMap<u64, MshrEntry>,
+    capacity: usize,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        MshrFile {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Returns `true` when a fill for `line` is outstanding.
+    pub fn contains(&self, line: u64) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Allocates an entry for `line`, returning `None` when the file is
+    /// full or the line already has an entry (merge instead).
+    pub fn allocate(&mut self, line: u64) -> Option<&mut MshrEntry> {
+        if self.entries.len() >= self.capacity || self.entries.contains_key(&line) {
+            return None;
+        }
+        Some(self.entries.entry(line).or_default())
+    }
+
+    /// Returns the entry for `line`, if outstanding.
+    pub fn entry_mut(&mut self, line: u64) -> Option<&mut MshrEntry> {
+        self.entries.get_mut(&line)
+    }
+
+    /// Removes and returns the entry for `line` (called on fill).
+    pub fn take(&mut self, line: u64) -> Option<MshrEntry> {
+        self.entries.remove(&line)
+    }
+
+    /// Returns the number of outstanding fills.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` with no outstanding fills.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` when no further entry can be allocated.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Returns the configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_full() {
+        let mut m = MshrFile::new(2);
+        assert!(m.allocate(1).is_some());
+        assert!(m.allocate(2).is_some());
+        assert!(m.is_full());
+        assert!(m.allocate(3).is_none());
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_allocation_refused() {
+        let mut m = MshrFile::new(4);
+        assert!(m.allocate(7).is_some());
+        assert!(m.allocate(7).is_none(), "must merge, not re-allocate");
+        assert!(m.contains(7));
+    }
+
+    #[test]
+    fn merge_accumulates_ids_and_flags() {
+        let mut m = MshrFile::new(4);
+        m.allocate(9).unwrap().ids.push(AccessId(1));
+        {
+            let e = m.entry_mut(9).unwrap();
+            e.ids.push(AccessId(2));
+            e.any_store = true;
+            e.from_above = true;
+        }
+        let e = m.take(9).unwrap();
+        assert_eq!(e.ids.len(), 2);
+        assert!(e.any_store && e.from_above);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn take_frees_capacity() {
+        let mut m = MshrFile::new(1);
+        m.allocate(1).unwrap();
+        assert!(m.allocate(2).is_none());
+        m.take(1).unwrap();
+        assert!(m.allocate(2).is_some());
+    }
+
+    #[test]
+    fn take_absent_is_none() {
+        let mut m = MshrFile::new(1);
+        assert!(m.take(42).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,269 @@
+//! The Wear Quota lifetime guarantee (paper §IV-C).
+
+use mellow_engine::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Wear Quota scheme.
+///
+/// The quota divides execution into sample periods (`T_sample`, 500 µs in
+/// the paper) and budgets each bank's wear per period so that, sustained,
+/// the bank lasts `T_lifetime` (8 years in the paper):
+///
+/// ```text
+/// WearBound_blk  = Endur_blk · T_sample / T_lifetime
+/// WearBound_bank = BlkNum_bank · WearBound_blk · Ratio_quota
+/// ```
+///
+/// `Ratio_quota` (0.9) conservatively absorbs Start-Gap's leveling
+/// overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WearQuotaConfig {
+    /// Target minimum lifetime in seconds (paper: 8 years).
+    pub target_lifetime_secs: f64,
+    /// Sample period (paper: 500 µs).
+    pub sample_period: Duration,
+    /// Endurance of one block in normal-write equivalents (paper: 5·10⁶).
+    pub endurance_per_block: f64,
+    /// Blocks per bank (`BlkNum_bank`).
+    pub blocks_per_bank: u64,
+    /// `Ratio_quota` in `(0, 1]` (paper: 0.9).
+    pub ratio_quota: f64,
+}
+
+impl WearQuotaConfig {
+    /// The paper's parameters: 8-year target, 500 µs period, 5·10⁶ block
+    /// endurance, `Ratio_quota = 0.9`.
+    pub fn paper_default(blocks_per_bank: u64) -> Self {
+        WearQuotaConfig {
+            target_lifetime_secs: 8.0 * 365.25 * 24.0 * 3600.0,
+            sample_period: Duration::from_us(500),
+            endurance_per_block: 5e6,
+            blocks_per_bank,
+            ratio_quota: 0.9,
+        }
+    }
+
+    /// Returns `WearBound_bank`: the per-period wear budget of one bank,
+    /// in normal-write equivalents.
+    pub fn wear_bound_per_period(&self) -> f64 {
+        let bound_blk = self.endurance_per_block * self.sample_period.as_secs_f64()
+            / self.target_lifetime_secs;
+        self.blocks_per_bank as f64 * bound_blk * self.ratio_quota
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.target_lifetime_secs > 0.0,
+            "target lifetime must be positive"
+        );
+        assert!(
+            self.sample_period > Duration::ZERO,
+            "sample period must be non-zero"
+        );
+        assert!(
+            self.endurance_per_block > 0.0,
+            "block endurance must be positive"
+        );
+        assert!(self.blocks_per_bank > 0, "blocks per bank must be non-zero");
+        assert!(
+            self.ratio_quota > 0.0 && self.ratio_quota <= 1.0,
+            "ratio_quota must be in (0, 1], got {}",
+            self.ratio_quota
+        );
+    }
+}
+
+/// Per-bank Wear Quota state.
+///
+/// At the start of each period the controller calls
+/// [`start_period`](Self::start_period) with every bank's cumulative
+/// wear; banks whose cumulative wear exceeds the accumulated quota
+/// (`ExceedQuota > 0`, §IV-C) are restricted to slow writes for the
+/// period.
+///
+/// # Examples
+///
+/// ```
+/// use mellow_core::{WearQuota, WearQuotaConfig};
+///
+/// let cfg = WearQuotaConfig::paper_default(1 << 20);
+/// let mut quota = WearQuota::new(cfg, 2);
+/// let bound = cfg.wear_bound_per_period();
+/// // Bank 0 stayed in budget; bank 1 doubled it.
+/// quota.start_period(&[bound * 0.5, bound * 2.0]);
+/// assert!(!quota.exceeded(0));
+/// assert!(quota.exceeded(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WearQuota {
+    config: WearQuotaConfig,
+    /// Periods completed so far (`Num_previous_periods`).
+    periods: u64,
+    /// Whether each bank is slow-only for the current period.
+    exceeded: Vec<bool>,
+}
+
+impl WearQuota {
+    /// Creates quota state for `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `banks` is zero.
+    pub fn new(config: WearQuotaConfig, banks: usize) -> Self {
+        config.validate();
+        assert!(banks > 0, "bank count must be non-zero");
+        WearQuota {
+            config,
+            periods: 0,
+            exceeded: vec![false; banks],
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &WearQuotaConfig {
+        &self.config
+    }
+
+    /// Returns the number of completed periods.
+    pub fn periods(&self) -> u64 {
+        self.periods
+    }
+
+    /// Begins a new period given each bank's *cumulative* wear (in
+    /// normal-write equivalents) at the period boundary.
+    ///
+    /// Implements §IV-C: `ExceedQuota = ΣWear_bank − WearBound_bank ·
+    /// Num_previous_periods`; a positive value restricts the bank to slow
+    /// writes for the coming period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank_wear.len()` differs from the configured bank
+    /// count.
+    pub fn start_period(&mut self, bank_wear: &[f64]) {
+        assert_eq!(
+            bank_wear.len(),
+            self.exceeded.len(),
+            "bank count mismatch in wear snapshot"
+        );
+        self.periods += 1;
+        let allowance = self.config.wear_bound_per_period() * self.periods as f64;
+        for (flag, &wear) in self.exceeded.iter_mut().zip(bank_wear) {
+            *flag = wear > allowance;
+        }
+    }
+
+    /// Returns whether `bank` is restricted to slow writes this period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn exceeded(&self, bank: usize) -> bool {
+        self.exceeded[bank]
+    }
+
+    /// Returns how many banks are currently restricted.
+    pub fn exceeded_count(&self) -> usize {
+        self.exceeded.iter().filter(|&&e| e).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WearQuotaConfig {
+        WearQuotaConfig::paper_default(1 << 20)
+    }
+
+    #[test]
+    fn paper_bound_magnitude() {
+        // 5e6 * 500us / 8yr * 2^20 blocks * 0.9 ≈ 9.3 normal writes
+        // per period per 2^20-block bank.
+        let bound = cfg().wear_bound_per_period();
+        let t_ratio = 500e-6 / (8.0 * 365.25 * 24.0 * 3600.0);
+        let expect = (1u64 << 20) as f64 * 5e6 * t_ratio * 0.9;
+        assert!((bound - expect).abs() / expect < 1e-12);
+        assert!(bound > 9.0 && bound < 10.0, "bound = {bound}");
+    }
+
+    #[test]
+    fn under_budget_banks_unrestricted() {
+        let mut q = WearQuota::new(cfg(), 4);
+        let bound = cfg().wear_bound_per_period();
+        q.start_period(&[0.0, bound * 0.99, bound * 0.5, 0.0]);
+        assert_eq!(q.exceeded_count(), 0);
+    }
+
+    #[test]
+    fn cumulative_accounting_allows_catching_up() {
+        let mut q = WearQuota::new(cfg(), 1);
+        let bound = cfg().wear_bound_per_period();
+        // Period 1: bank wrote double its budget -> restricted.
+        q.start_period(&[bound * 2.0]);
+        assert!(q.exceeded(0));
+        // Period 2: no further wear; cumulative 2.0 <= allowance 2.0 ->
+        // released.
+        q.start_period(&[bound * 2.0]);
+        assert!(!q.exceeded(0));
+        assert_eq!(q.periods(), 2);
+    }
+
+    #[test]
+    fn banks_restricted_independently() {
+        let mut q = WearQuota::new(cfg(), 3);
+        let bound = cfg().wear_bound_per_period();
+        q.start_period(&[bound * 3.0, 0.0, bound * 1.01]);
+        assert!(q.exceeded(0));
+        assert!(!q.exceeded(1));
+        assert!(q.exceeded(2));
+        assert_eq!(q.exceeded_count(), 2);
+    }
+
+    #[test]
+    fn long_run_average_meets_target() {
+        // A bank writing just under its bound every period must never be
+        // restricted; one writing 1.5x the bound must be restricted a
+        // positive fraction of periods.
+        let mut on_budget = WearQuota::new(cfg(), 1);
+        let mut over = WearQuota::new(cfg(), 1);
+        let bound = cfg().wear_bound_per_period();
+        let mut cum_on = 0.0;
+        let mut cum_over = 0.0;
+        let mut restricted = 0;
+        for _ in 0..1000 {
+            cum_on += bound * 0.999;
+            on_budget.start_period(&[cum_on]);
+            assert!(!on_budget.exceeded(0));
+
+            // The over-writer only adds wear when unrestricted (slow-only
+            // periods wear 1/9 as fast; approximate with zero for the
+            // test's purpose).
+            if !over.exceeded(0) {
+                cum_over += bound * 1.5;
+            }
+            over.start_period(&[cum_over]);
+            if over.exceeded(0) {
+                restricted += 1;
+            }
+        }
+        assert!(restricted > 250, "restricted {restricted} of 1000");
+        // Cumulative wear stays within one period's slack of the quota.
+        assert!(cum_over <= bound * 1001.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bank count mismatch")]
+    fn wrong_snapshot_size_rejected() {
+        let mut q = WearQuota::new(cfg(), 2);
+        q.start_period(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn bad_ratio_rejected() {
+        let mut c = cfg();
+        c.ratio_quota = 0.0;
+        let _ = WearQuota::new(c, 1);
+    }
+}

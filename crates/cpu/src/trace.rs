@@ -1,0 +1,129 @@
+//! The instruction-trace abstraction feeding the core.
+
+use serde::{Deserialize, Serialize};
+
+/// A single memory operation in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemOp {
+    /// Byte address accessed (the hierarchy aligns it to its line size).
+    pub addr: u64,
+    /// `true` for a store, `false` for a load.
+    pub is_store: bool,
+    /// When `true`, this operation cannot issue until every earlier
+    /// memory operation has completed — modelling address dependencies
+    /// (pointer chasing) that serialize misses.
+    pub depends_on_prev: bool,
+}
+
+impl MemOp {
+    /// Creates an independent load of `addr`.
+    pub fn load(addr: u64) -> Self {
+        MemOp {
+            addr,
+            is_store: false,
+            depends_on_prev: false,
+        }
+    }
+
+    /// Creates an independent store to `addr`.
+    pub fn store(addr: u64) -> Self {
+        MemOp {
+            addr,
+            is_store: true,
+            depends_on_prev: false,
+        }
+    }
+
+    /// Marks this operation as dependent on all earlier memory
+    /// operations.
+    pub fn dependent(mut self) -> Self {
+        self.depends_on_prev = true;
+        self
+    }
+}
+
+/// A trace record: `nonmem` arithmetic instructions followed by an
+/// optional memory operation.
+///
+/// A record represents `nonmem + (op.is_some() as u32)` instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Number of non-memory instructions preceding `op`.
+    pub nonmem: u32,
+    /// The memory operation closing the record, if any.
+    pub op: Option<MemOp>,
+}
+
+impl TraceRecord {
+    /// Returns the number of instructions this record represents.
+    pub fn instructions(&self) -> u64 {
+        self.nonmem as u64 + self.op.is_some() as u64
+    }
+}
+
+/// An endless instruction stream.
+///
+/// Synthetic workload generators (and, in principle, real trace readers)
+/// implement this. Sources must be infinite: the simulator decides when
+/// to stop, so generators wrap around their working set rather than
+/// terminating.
+pub trait TraceSource {
+    /// Produces the next record of the stream.
+    fn next_record(&mut self) -> TraceRecord;
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_record(&mut self) -> TraceRecord {
+        (**self).next_record()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        let l = MemOp::load(64);
+        assert!(!l.is_store && !l.depends_on_prev && l.addr == 64);
+        let s = MemOp::store(128);
+        assert!(s.is_store);
+        let d = MemOp::load(0).dependent();
+        assert!(d.depends_on_prev);
+    }
+
+    #[test]
+    fn record_instruction_count() {
+        assert_eq!(
+            TraceRecord {
+                nonmem: 3,
+                op: None
+            }
+            .instructions(),
+            3
+        );
+        assert_eq!(
+            TraceRecord {
+                nonmem: 3,
+                op: Some(MemOp::load(0))
+            }
+            .instructions(),
+            4
+        );
+    }
+
+    #[test]
+    fn boxed_source_delegates() {
+        struct One;
+        impl TraceSource for One {
+            fn next_record(&mut self) -> TraceRecord {
+                TraceRecord {
+                    nonmem: 1,
+                    op: None,
+                }
+            }
+        }
+        let mut boxed: Box<dyn TraceSource> = Box::new(One);
+        assert_eq!(boxed.next_record().nonmem, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Discrete-event simulation kernel for the Mellow Writes reproduction.
+//!
+//! This crate is deliberately independent of any memory-system concept: it
+//! provides the *mechanics* every timed component in the simulator shares.
+//!
+//! - [`SimTime`] / [`Duration`] — picosecond-resolution simulation time.
+//! - [`Clock`] — a fixed-frequency clock domain converting between cycles
+//!   and [`SimTime`] (the simulated system mixes a 2 GHz core domain with a
+//!   400 MHz memory domain).
+//! - [`TimerQueue`] — a deterministic pending-completion queue used by
+//!   components that have in-flight operations (cache fills, bank busy
+//!   intervals, bus transfers).
+//! - [`stats`] — counters, busy-time accumulators and histograms from which
+//!   every figure of the paper is ultimately computed.
+//! - [`DetRng`] — a small deterministic RNG so that identical seeds always
+//!   reproduce identical simulations.
+//!
+//! # Examples
+//!
+//! ```
+//! use mellow_engine::{Clock, SimTime, TimerQueue};
+//!
+//! let mem_clock = Clock::from_mhz(400);
+//! let mut timers: TimerQueue<&str> = TimerQueue::new();
+//! timers.schedule(mem_clock.cycles_to_time(60), "write pulse done");
+//! assert_eq!(timers.pop_due(SimTime::from_ns(150)), Some("write pulse done"));
+//! ```
+
+mod clock;
+mod queue;
+mod rng;
+pub mod stats;
+mod time;
+mod timer;
+
+pub use clock::Clock;
+pub use queue::BoundedQueue;
+pub use rng::DetRng;
+pub use time::{Duration, SimTime};
+pub use timer::TimerQueue;

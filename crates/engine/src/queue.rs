@@ -1,0 +1,203 @@
+//! Bounded request queues with in-place scanning.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO queue that also supports the scanning and targeted
+/// removal the memory controller's schedulers need.
+///
+/// The paper's controller holds three of these per channel (read, write and
+/// eager-mellow queues). Scheduling decisions scan the queue for the oldest
+/// entry matching a predicate ("oldest read for bank 3", "any other write
+/// for this bank?") rather than strictly popping the head, so a plain
+/// `VecDeque` API is not enough.
+///
+/// # Examples
+///
+/// ```
+/// use mellow_engine::BoundedQueue;
+///
+/// let mut q = BoundedQueue::new(2);
+/// assert!(q.try_push(10).is_ok());
+/// assert!(q.try_push(11).is_ok());
+/// assert_eq!(q.try_push(12), Err(12)); // full: the value is handed back
+/// assert_eq!(q.remove_first(|&v| v == 11), Some(11));
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Appends `item`, or returns it as `Err` when the queue is full.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            Err(item)
+        } else {
+            self.items.push_back(item);
+            Ok(())
+        }
+    }
+
+    /// Prepends `item`, or returns it as `Err` when the queue is full.
+    ///
+    /// Used to re-queue a cancelled write at the front so it retains its
+    /// age-order priority.
+    pub fn try_push_front(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            Err(item)
+        } else {
+            self.items.push_front(item);
+            Ok(())
+        }
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop_front(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Removes and returns the oldest entry matching `pred`.
+    pub fn remove_first<F: FnMut(&T) -> bool>(&mut self, pred: F) -> Option<T> {
+        let idx = self.items.iter().position(pred)?;
+        self.items.remove(idx)
+    }
+
+    /// Returns a reference to the oldest entry matching `pred`.
+    pub fn find<F: FnMut(&T) -> bool>(&self, mut pred: F) -> Option<&T> {
+        self.items.iter().find(|it| pred(it))
+    }
+
+    /// Returns the number of entries matching `pred`.
+    pub fn count<F: FnMut(&T) -> bool>(&self, mut pred: F) -> usize {
+        self.items.iter().filter(|it| pred(it)).count()
+    }
+
+    /// Returns `true` if any entry matches `pred`.
+    pub fn any<F: FnMut(&T) -> bool>(&self, pred: F) -> bool {
+        self.items.iter().any(pred)
+    }
+
+    /// Iterates over the entries from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Mutably iterates over the entries from oldest to newest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.items.iter_mut()
+    }
+
+    /// Returns the number of queued entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` when the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Returns the configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the occupied fraction in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.items.len() as f64 / self.capacity as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop_front(), Some(i));
+        }
+        assert_eq!(q.pop_front(), None);
+    }
+
+    #[test]
+    fn rejects_when_full_and_returns_value() {
+        let mut q = BoundedQueue::new(1);
+        q.try_push("a").unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.try_push("b"), Err("b"));
+        assert_eq!(q.try_push_front("c"), Err("c"));
+    }
+
+    #[test]
+    fn push_front_preserves_age_priority() {
+        let mut q = BoundedQueue::new(3);
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        q.try_push_front(1).unwrap();
+        assert_eq!(q.pop_front(), Some(1));
+        assert_eq!(q.pop_front(), Some(2));
+    }
+
+    #[test]
+    fn remove_first_takes_oldest_match() {
+        let mut q = BoundedQueue::new(8);
+        for v in [1, 2, 3, 2, 4] {
+            q.try_push(v).unwrap();
+        }
+        assert_eq!(q.remove_first(|&v| v == 2), Some(2));
+        // The later 2 remains, in place.
+        let rest: Vec<_> = q.iter().copied().collect();
+        assert_eq!(rest, vec![1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn counting_and_predicates() {
+        let mut q = BoundedQueue::new(8);
+        for v in [1, 2, 2, 3] {
+            q.try_push(v).unwrap();
+        }
+        assert_eq!(q.count(|&v| v == 2), 2);
+        assert!(q.any(|&v| v == 3));
+        assert!(!q.any(|&v| v == 9));
+        assert_eq!(q.find(|&v| v > 1), Some(&2));
+    }
+
+    #[test]
+    fn occupancy_fraction() {
+        let mut q = BoundedQueue::new(4);
+        q.try_push(()).unwrap();
+        assert!((q.occupancy() - 0.25).abs() < 1e-12);
+        assert_eq!(q.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _: BoundedQueue<u8> = BoundedQueue::new(0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Picosecond-resolution simulation time.
+//!
+//! The simulated system mixes a 2 GHz processor (500 ps period) with a
+//! 400 MHz memory channel (2500 ps period), so a picosecond base unit keeps
+//! every clock edge exactly representable in an integer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation timeline, in picoseconds.
+///
+/// `SimTime` is an absolute coordinate; [`Duration`] is a span between two
+/// instants. The distinction catches unit bugs (e.g. scheduling an event at
+/// "150 ns" instead of "now + 150 ns") at compile time.
+///
+/// # Examples
+///
+/// ```
+/// use mellow_engine::{Duration, SimTime};
+///
+/// let start = SimTime::from_ns(100);
+/// let end = start + Duration::from_ns(50);
+/// assert_eq!(end - start, Duration::from_ns(50));
+/// assert_eq!(end.as_ps(), 150_000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in picoseconds.
+///
+/// See [`SimTime`] for the absolute-versus-relative distinction.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl SimTime {
+    /// The origin of the simulation timeline.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as an "never scheduled" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `ps` picoseconds after the origin.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates an instant `ns` nanoseconds after the origin.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1000)
+    }
+
+    /// Creates an instant `us` microseconds after the origin.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Returns the instant as picoseconds since the origin.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (truncated) nanoseconds since the origin.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Returns the instant as fractional seconds since the origin.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// Returns the span since `earlier`, saturating at zero if `earlier`
+    /// is actually later than `self`.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the time elapsed since the origin as a [`Duration`].
+    #[inline]
+    pub const fn since_origin(self) -> Duration {
+        Duration(self.0)
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a span of `ps` picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Duration(ps)
+    }
+
+    /// Creates a span of `ns` nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns * 1000)
+    }
+
+    /// Creates a span of `us` microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * 1_000_000)
+    }
+
+    /// Returns the span in picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span in (truncated) nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Returns the span as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// Returns the fraction `self / total`, or 0.0 when `total` is empty.
+    ///
+    /// This is the workhorse behind "percentage of execution time" metrics
+    /// such as bank utilization (Figs. 3, 12) and write-drain time (Fig. 13).
+    #[inline]
+    pub fn fraction_of(self, total: Duration) -> f64 {
+        if total.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total.0 as f64
+        }
+    }
+
+    /// Returns `self - other`, clamping at zero instead of panicking.
+    #[inline]
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the span by a dimensionless factor, rounding to the
+    /// nearest picosecond.
+    ///
+    /// Used for derived timings such as "3.0× slow write pulse".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or the result overflows `u64`.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Duration {
+        assert!(factor >= 0.0, "duration scale factor must be non-negative");
+        let scaled = self.0 as f64 * factor;
+        assert!(scaled <= u64::MAX as f64, "scaled duration overflows");
+        Duration(scaled.round() as u64)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.since_origin())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0ns")
+        } else if ps.is_multiple_of(1_000_000) {
+            write!(f, "{}us", ps / 1_000_000)
+        } else if ps.is_multiple_of(1000) {
+            write!(f, "{}ns", ps / 1000)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_ns(150).as_ps(), 150_000);
+        assert_eq!(SimTime::from_us(500).as_ns(), 500_000);
+        assert_eq!(Duration::from_ns(1).as_ps(), 1000);
+        assert_eq!(Duration::from_us(2).as_ns(), 2000);
+    }
+
+    #[test]
+    fn arithmetic_is_consistent() {
+        let a = SimTime::from_ns(100);
+        let d = Duration::from_ns(40);
+        assert_eq!((a + d) - a, d);
+        assert_eq!((a + d) - d, a);
+        assert_eq!(d + d, Duration::from_ns(80));
+        assert_eq!(d * 3, Duration::from_ns(120));
+        assert_eq!(d / 4, Duration::from_ns(10));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = Duration::from_ns(5);
+        let b = Duration::from_ns(9);
+        assert_eq!(b.saturating_sub(a), Duration::from_ns(4));
+        assert_eq!(a.saturating_sub(b), Duration::ZERO);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = SimTime::from_ns(10);
+        let late = SimTime::from_ns(20);
+        assert_eq!(late.saturating_since(early), Duration::from_ns(10));
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+    }
+
+    #[test]
+    fn fraction_of_handles_zero_total() {
+        assert_eq!(Duration::from_ns(5).fraction_of(Duration::ZERO), 0.0);
+        let half = Duration::from_ns(5).fraction_of(Duration::from_ns(10));
+        assert!((half - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest() {
+        assert_eq!(Duration::from_ns(150).scale(3.0), Duration::from_ns(450));
+        assert_eq!(Duration::from_ps(3).scale(0.5), Duration::from_ps(2)); // 1.5 rounds to 2
+        assert_eq!(Duration::from_ns(150).scale(1.5), Duration::from_ns(225));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn scale_rejects_negative() {
+        let _ = Duration::from_ns(1).scale(-1.0);
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(Duration::from_ns(450).to_string(), "450ns");
+        assert_eq!(Duration::from_us(500).to_string(), "500us");
+        assert_eq!(Duration::from_ps(7).to_string(), "7ps");
+        assert_eq!(Duration::ZERO.to_string(), "0ns");
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let one_sec = Duration::from_ps(1_000_000_000_000);
+        assert!((one_sec.as_secs_f64() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = [1u64, 2, 3].iter().map(|&n| Duration::from_ns(n)).sum();
+        assert_eq!(total, Duration::from_ns(6));
+    }
+}

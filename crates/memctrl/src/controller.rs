@@ -1,0 +1,817 @@
+//! The resistive-memory controller: queues, bank state machines, write
+//! drains, write cancellation, and the Mellow Writes issue logic.
+
+use crate::{LineMapping, MemConfig};
+use mellow_core::{
+    decide_write, demand_speed, BankQueueView, WearQuota, WearQuotaConfig, WriteDecision,
+    WritePolicy, WriteSpeed,
+};
+use mellow_engine::stats::{BusyTracker, Histogram};
+use mellow_engine::{Duration, SimTime, TimerQueue};
+use mellow_nvm::energy::EnergyAccount;
+use mellow_nvm::{CancelWear, EnduranceModel, LifetimeModel, LifetimeProjection, StartGap, WearLedger};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Counters exposed by the controller (the raw material of Figs. 2–3 and
+/// 10–18).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CtrlStats {
+    /// Reads accepted into the read queue.
+    pub reads_accepted: u64,
+    /// Reads serviced by forwarding from the write/eager queues.
+    pub reads_forwarded: u64,
+    /// Reads rejected because the read queue was full.
+    pub read_rejects: u64,
+    /// Demand writes accepted into the write queue.
+    pub demand_writes_accepted: u64,
+    /// Demand writes rejected because the write queue was full.
+    pub write_rejects: u64,
+    /// Eager writes accepted into the Eager Mellow queue.
+    pub eager_writes_accepted: u64,
+    /// Row-buffer-hit reads issued to banks.
+    pub rb_hit_reads: u64,
+    /// Row-buffer-miss reads (array activations) issued to banks.
+    pub rb_miss_reads: u64,
+    /// Normal-speed write issues to banks (including later-cancelled).
+    pub writes_issued_normal: u64,
+    /// Slow-speed write issues to banks (including later-cancelled).
+    pub writes_issued_slow: u64,
+    /// Completed normal-speed demand writes.
+    pub writes_completed_normal: u64,
+    /// Completed slow-speed demand writes.
+    pub writes_completed_slow: u64,
+    /// Completed eager writes (any speed).
+    pub eager_completed: u64,
+    /// Write attempts cancelled by an incoming read.
+    pub writes_cancelled: u64,
+    /// Write attempts paused (and later resumed) for an incoming read
+    /// (`+WP` policies).
+    pub writes_paused: u64,
+    /// Write-drain episodes entered.
+    pub write_drains: u64,
+    /// Read latency from enqueue to data return, in nanoseconds.
+    pub read_latency_ns: Histogram,
+}
+
+impl CtrlStats {
+    /// Total requests issued to banks (Fig. 15's metric): reads plus
+    /// every write issue attempt.
+    pub fn issued_to_banks(&self) -> u64 {
+        self.rb_hit_reads + self.rb_miss_reads + self.writes_issued_normal + self.writes_issued_slow
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedReq {
+    line: u64,
+    bank: usize,
+    row: u64,
+    enq: SimTime,
+    /// Set when this write was cancelled mid-pulse: its data is already
+    /// latched at the bank, so a retry needs no new bus transfer.
+    data_resident: bool,
+    /// How many times this write has been cancelled already.
+    cancels: u32,
+    /// Fraction of the write pulse still to drive (1.0 for a fresh
+    /// write; less after `+WP` pauses).
+    remaining: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Read,
+    DemandWrite,
+    EagerWrite,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    serial: u64,
+    kind: OpKind,
+    line: u64,
+    mapping: LineMapping,
+    speed: WriteSpeed,
+    /// Actual latency factor driven (1.0 normal; the policy's slow
+    /// factor, or a graded level under `+GR`).
+    factor: f64,
+    cancellable: bool,
+    cancels: u32,
+    enq: SimTime,
+    /// Fraction of the pulse outstanding when this segment started.
+    remaining_at_start: f64,
+    /// When the write pulse begins (after the bus transfer).
+    pulse_start: SimTime,
+    end: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct BankState {
+    open_row: Option<u64>,
+    busy_until: SimTime,
+    in_flight: Option<InFlight>,
+    busy_time: Duration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Completion {
+    serial: u64,
+    bank: usize,
+}
+
+/// The cycle-level memory controller for a resistive main memory.
+///
+/// The controller owns three request queues (read > write > eager, in
+/// priority), per-bank state machines with open-page row buffers, a
+/// shared data bus, tFAW activation throttling, write drains, write
+/// cancellation, Start-Gap wear leveling, and the wear/energy ledgers.
+/// Write speeds follow the configured [`WritePolicy`] through the
+/// Figure 9 decision tree.
+///
+/// Drive it by calling [`tick`](Self::tick) once per memory-clock cycle;
+/// offer work with [`try_read`](Self::try_read) /
+/// [`try_write`](Self::try_write) / [`try_eager`](Self::try_eager) and
+/// collect read data with [`pop_read_done`](Self::pop_read_done).
+///
+/// # Examples
+///
+/// ```
+/// use mellow_core::WritePolicy;
+/// use mellow_engine::SimTime;
+/// use mellow_memctrl::{Controller, MemConfig};
+/// use mellow_nvm::{CancelWear, EnduranceModel};
+///
+/// let mut ctrl = Controller::new(
+///     MemConfig::paper_default(),
+///     WritePolicy::be_mellow_sc(),
+///     EnduranceModel::reram_default(),
+///     CancelWear::Prorated,
+/// );
+/// assert!(ctrl.try_read(42, SimTime::ZERO));
+/// // Tick until the read returns (row miss: ~142.5 ns).
+/// let mut done = None;
+/// for c in 1..100 {
+///     let now = SimTime::from_ps(c * 2500);
+///     ctrl.tick(now);
+///     if let Some(line) = ctrl.pop_read_done() {
+///         done = Some(line);
+///         break;
+///     }
+/// }
+/// assert_eq!(done, Some(42));
+/// ```
+#[derive(Debug)]
+pub struct Controller {
+    cfg: MemConfig,
+    policy: WritePolicy,
+    endurance: EnduranceModel,
+    cancel_wear: CancelWear,
+    read_q: VecDeque<QueuedReq>,
+    write_q: VecDeque<QueuedReq>,
+    eager_q: VecDeque<QueuedReq>,
+    banks: Vec<BankState>,
+    /// Recent activation times per rank, for tFAW.
+    rank_acts: Vec<VecDeque<SimTime>>,
+    bus_free_at: SimTime,
+    completions: TimerQueue<Completion>,
+    /// Forwarded reads awaiting their (bank-free) completion time.
+    forwarded_pending: VecDeque<(SimTime, u64)>,
+    read_done: VecDeque<u64>,
+    ledger: WearLedger,
+    startgaps: Vec<StartGap>,
+    quota: Option<WearQuota>,
+    next_period_at: SimTime,
+    draining: bool,
+    drain_tracker: BusyTracker,
+    energy: EnergyAccount,
+    stats: CtrlStats,
+    next_serial: u64,
+    rr_start: usize,
+}
+
+impl Controller {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is inconsistent (see [`MemConfig::validate`]).
+    pub fn new(
+        cfg: MemConfig,
+        policy: WritePolicy,
+        endurance: EnduranceModel,
+        cancel_wear: CancelWear,
+    ) -> Self {
+        cfg.validate();
+        let banks = cfg.num_banks;
+        let quota = policy.wear_quota.then(|| {
+            let mut qc = WearQuotaConfig::paper_default(cfg.blocks_per_bank());
+            qc.endurance_per_block = endurance.base_endurance();
+            qc.ratio_quota = cfg.leveling_efficiency;
+            qc.sample_period = cfg.sample_period;
+            WearQuota::new(qc, banks)
+        });
+        let sample_period = cfg.sample_period;
+        Controller {
+            read_q: VecDeque::new(),
+            write_q: VecDeque::new(),
+            eager_q: VecDeque::new(),
+            banks: (0..banks).map(|_| BankState::default()).collect(),
+            rank_acts: (0..cfg.num_ranks).map(|_| VecDeque::new()).collect(),
+            bus_free_at: SimTime::ZERO,
+            completions: TimerQueue::new(),
+            forwarded_pending: VecDeque::new(),
+            read_done: VecDeque::new(),
+            ledger: WearLedger::new(banks, endurance, cancel_wear),
+            startgaps: (0..banks)
+                .map(|_| StartGap::new(cfg.blocks_per_bank(), cfg.startgap_interval))
+                .collect(),
+            quota,
+            next_period_at: SimTime::ZERO + sample_period,
+            draining: false,
+            drain_tracker: BusyTracker::new(),
+            energy: EnergyAccount::default(),
+            stats: CtrlStats::default(),
+            next_serial: 0,
+            rr_start: 0,
+            policy,
+            endurance,
+            cancel_wear,
+            cfg,
+        }
+    }
+
+    /// Enables per-block wear tracking (small configurations only: the
+    /// table holds one `f64` per memory block).
+    pub fn enable_block_tracking(&mut self) {
+        // One extra physical line per bank: Start-Gap's gap spare.
+        let blocks = self.cfg.blocks_per_bank() + 1;
+        // Rebuild the ledger with tracking; only valid before any wear.
+        assert!(
+            self.ledger.total_wear() == 0.0,
+            "enable block tracking before simulating"
+        );
+        self.ledger = WearLedger::new(self.cfg.num_banks, self.endurance, self.cancel_wear)
+            .with_block_tracking(blocks);
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Returns the active write policy.
+    pub fn policy(&self) -> &WritePolicy {
+        &self.policy
+    }
+
+    /// Returns the counters.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// Returns the wear ledger.
+    pub fn ledger(&self) -> &WearLedger {
+        &self.ledger
+    }
+
+    /// Returns the energy account.
+    pub fn energy(&self) -> &EnergyAccount {
+        &self.energy
+    }
+
+    /// Offers a read for `line`. Returns `false` when the read queue is
+    /// full. Reads of lines with a pending write are serviced by
+    /// forwarding without touching the banks.
+    pub fn try_read(&mut self, line: u64, now: SimTime) -> bool {
+        if self
+            .write_q
+            .iter()
+            .chain(self.eager_q.iter())
+            .any(|w| w.line == line)
+        {
+            // Forward from the write queue: data returns after the
+            // column + bus latency without disturbing the banks.
+            self.stats.reads_forwarded += 1;
+            let end = now + self.cfg.t_cas + self.cfg.t_bus;
+            self.stats
+                .read_latency_ns
+                .record(end.saturating_since(now).as_ns());
+            self.forwarded_pending.push_back((end, line));
+            return true;
+        }
+        if self.read_q.len() >= self.cfg.read_queue_cap {
+            self.stats.read_rejects += 1;
+            return false;
+        }
+        let mapping = self.cfg.map_line(line);
+        self.read_q.push_back(QueuedReq {
+            line,
+            bank: mapping.bank,
+            row: mapping.row,
+            enq: now,
+            data_resident: false,
+            cancels: 0,
+            remaining: 1.0,
+        });
+        self.stats.reads_accepted += 1;
+        true
+    }
+
+    /// Offers a demand write (LLC dirty eviction) for `line`. Returns
+    /// `false` when the write queue is full.
+    pub fn try_write(&mut self, line: u64, now: SimTime) -> bool {
+        if self.write_q.len() >= self.cfg.write_queue_cap {
+            self.stats.write_rejects += 1;
+            return false;
+        }
+        let mapping = self.cfg.map_line(line);
+        self.write_q.push_back(QueuedReq {
+            line,
+            bank: mapping.bank,
+            row: mapping.row,
+            enq: now,
+            data_resident: false,
+            cancels: 0,
+            remaining: 1.0,
+        });
+        self.stats.demand_writes_accepted += 1;
+        true
+    }
+
+    /// Returns `true` when the Eager Mellow queue can accept another
+    /// entry (the LLC checks before probing for a candidate).
+    pub fn eager_has_room(&self) -> bool {
+        self.eager_q.len() < self.cfg.eager_queue_cap
+    }
+
+    /// Offers an eager writeback for `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the eager queue is full — callers must check
+    /// [`eager_has_room`](Self::eager_has_room) first, because the LLC
+    /// has already marked the line clean by the time it calls this.
+    pub fn try_eager(&mut self, line: u64, now: SimTime) {
+        assert!(self.eager_has_room(), "eager queue overflow");
+        let mapping = self.cfg.map_line(line);
+        self.eager_q.push_back(QueuedReq {
+            line,
+            bank: mapping.bank,
+            row: mapping.row,
+            enq: now,
+            data_resident: false,
+            cancels: 0,
+            remaining: 1.0,
+        });
+        self.stats.eager_writes_accepted += 1;
+    }
+
+    /// Removes and returns the next completed read's line address.
+    pub fn pop_read_done(&mut self) -> Option<u64> {
+        self.read_done.pop_front()
+    }
+
+    fn alloc_serial(&mut self) -> u64 {
+        let s = self.next_serial;
+        self.next_serial += 1;
+        s
+    }
+
+    /// Advances the controller to memory-clock edge `now`.
+    pub fn tick(&mut self, now: SimTime) {
+        self.drain_forwarded(now);
+        self.process_completions(now);
+        self.roll_periods(now);
+        self.update_drain_state(now);
+        self.cancel_writes_for_reads(now);
+        self.issue(now);
+    }
+
+    fn drain_forwarded(&mut self, now: SimTime) {
+        while let Some(&(t, line)) = self.forwarded_pending.front() {
+            if t > now {
+                break;
+            }
+            self.forwarded_pending.pop_front();
+            self.read_done.push_back(line);
+        }
+    }
+
+    fn process_completions(&mut self, now: SimTime) {
+        while let Some(c) = self.completions.pop_due(now) {
+            let bank = &mut self.banks[c.bank];
+            let Some(op) = bank.in_flight else {
+                continue; // cancelled
+            };
+            if op.serial != c.serial {
+                continue; // cancelled and bank reused
+            }
+            bank.in_flight = None;
+            match op.kind {
+                OpKind::Read => {
+                    self.read_done.push_back(op.line);
+                    self.stats
+                        .read_latency_ns
+                        .record(op.end.saturating_since(op.enq).as_ns());
+                }
+                OpKind::DemandWrite | OpKind::EagerWrite => {
+                    self.complete_write(c.bank, op);
+                }
+            }
+        }
+    }
+
+    fn complete_write(&mut self, bank_idx: usize, op: InFlight) {
+        let factor = op.factor;
+        let sg = &mut self.startgaps[bank_idx];
+        let phys = sg.remap(op.mapping.block);
+        self.ledger.record_write(bank_idx, Some(phys), factor);
+        if let Some(moved) = sg.note_write() {
+            self.ledger.record_leveling_write(bank_idx, Some(moved));
+        }
+        // Graded factors between 1x and 3x are charged slow-write
+        // energy (a conservative overestimate; Table VI only
+        // characterizes the two paper speeds).
+        if factor > 1.0 {
+            self.energy.add_slow_write();
+            self.stats.writes_completed_slow += 1;
+        } else {
+            self.energy.add_normal_write();
+            self.stats.writes_completed_normal += 1;
+        }
+        if op.kind == OpKind::EagerWrite {
+            self.stats.eager_completed += 1;
+        }
+    }
+
+    fn roll_periods(&mut self, now: SimTime) {
+        let Some(quota) = &mut self.quota else {
+            return;
+        };
+        let period = quota.config().sample_period;
+        while now >= self.next_period_at {
+            let wear: Vec<f64> = self.ledger.iter().map(|b| b.total_wear).collect();
+            quota.start_period(&wear);
+            self.next_period_at += period;
+        }
+    }
+
+    fn update_drain_state(&mut self, now: SimTime) {
+        if !self.draining && self.write_q.len() >= self.cfg.drain_high {
+            self.draining = true;
+            self.stats.write_drains += 1;
+            self.drain_tracker.set_busy(now);
+        } else if self.draining && self.write_q.len() <= self.cfg.drain_low {
+            self.draining = false;
+            self.drain_tracker.set_idle(now);
+        }
+    }
+
+    fn cancel_writes_for_reads(&mut self, now: SimTime) {
+        if self.draining {
+            return; // drains must make forward progress
+        }
+        for bank_idx in 0..self.banks.len() {
+            let has_read = self.read_q.iter().any(|r| r.bank == bank_idx);
+            if !has_read {
+                continue;
+            }
+            let bank = &mut self.banks[bank_idx];
+            let Some(op) = bank.in_flight else { continue };
+            if op.kind == OpKind::Read || !op.cancellable || now >= op.end {
+                continue;
+            }
+            // Cancel or pause: yield the bank to the read and re-queue
+            // the write at the front so it keeps its age priority.
+            let pulse = op.end.saturating_since(op.pulse_start);
+            let done = now.saturating_since(op.pulse_start);
+            // Fraction of this *segment* driven so far.
+            let segment_fraction = if pulse == Duration::ZERO {
+                0.0
+            } else {
+                (done.as_ps() as f64 / pulse.as_ps() as f64).clamp(0.0, 1.0)
+            };
+            // Fraction of the whole pulse driven (across pause resumes).
+            let progress =
+                1.0 - op.remaining_at_start + op.remaining_at_start * segment_fraction;
+            // Threshold rule [18]: a nearly-finished pulse runs to
+            // completion; a repeatedly-yielding write stops yielding.
+            if progress >= self.cfg.cancel_threshold || op.cancels >= self.cfg.max_cancels {
+                continue;
+            }
+            let remaining = if self.policy.pause_writes {
+                // Pause: progress is preserved; wear and energy are
+                // charged once, at completion, for the full pulse.
+                self.stats.writes_paused += 1;
+                (1.0 - progress).max(0.0)
+            } else {
+                // Abort: the driven fraction is wasted — charge its wear
+                // and energy, and restart from scratch.
+                let factor = op.factor;
+                let phys = self.startgaps[bank_idx].remap(op.mapping.block);
+                let charged = op.remaining_at_start * segment_fraction;
+                self.ledger
+                    .record_cancelled(bank_idx, Some(phys), factor, charged);
+                self.energy
+                    .add_cancelled(op.speed == WriteSpeed::Slow, charged);
+                self.stats.writes_cancelled += 1;
+                1.0
+            };
+            // Refund the unspent busy time (saturating: the issue may
+            // predate a measurement reset that zeroed busy_time).
+            bank.busy_time = bank.busy_time.saturating_sub(op.end.saturating_since(now));
+            bank.busy_until = now;
+            bank.in_flight = None;
+            let req = QueuedReq {
+                line: op.line,
+                bank: bank_idx,
+                row: op.mapping.row,
+                enq: op.enq,
+                data_resident: true,
+                cancels: op.cancels + 1,
+                remaining,
+            };
+            match op.kind {
+                OpKind::EagerWrite => self.eager_q.push_front(req),
+                _ => self.write_q.push_front(req),
+            }
+        }
+    }
+
+    fn bank_view(&self, bank: usize) -> BankQueueView {
+        BankQueueView {
+            reads_waiting: self.read_q.iter().filter(|r| r.bank == bank).count(),
+            writes_waiting: self.write_q.iter().filter(|r| r.bank == bank).count(),
+            eager_waiting: self.eager_q.iter().filter(|r| r.bank == bank).count(),
+            quota_exceeded: self
+                .quota
+                .as_ref()
+                .map(|q| q.exceeded(bank))
+                .unwrap_or(false),
+        }
+    }
+
+    fn issue(&mut self, now: SimTime) {
+        let n = self.banks.len();
+        let start = self.rr_start;
+        self.rr_start = (self.rr_start + 1) % n;
+        for i in 0..n {
+            let bank_idx = (start + i) % n;
+            if now < self.banks[bank_idx].busy_until {
+                continue;
+            }
+            if self.draining {
+                if let Some(pos) = self.write_q.iter().position(|w| w.bank == bank_idx) {
+                    let view = self.bank_view(bank_idx);
+                    let speed = demand_speed(&self.policy, view);
+                    let req = self.write_q.remove(pos).expect("position valid");
+                    self.issue_write(bank_idx, req, speed, OpKind::DemandWrite, now);
+                }
+                continue; // reads are blocked while draining
+            }
+            // Reads have priority: row-buffer hit first, then oldest.
+            if let Some(pos) = self.pick_read(bank_idx) {
+                if self.issue_read_at(bank_idx, pos, now) {
+                    continue;
+                } else {
+                    continue; // tFAW-blocked; retry next cycle
+                }
+            }
+            let view = self.bank_view(bank_idx);
+            match decide_write(&self.policy, view) {
+                WriteDecision::Demand(speed) => {
+                    let pos = self
+                        .write_q
+                        .iter()
+                        .position(|w| w.bank == bank_idx)
+                        .expect("decision implies a queued write");
+                    let req = self.write_q.remove(pos).expect("position valid");
+                    self.issue_write(bank_idx, req, speed, OpKind::DemandWrite, now);
+                }
+                WriteDecision::Eager(speed) => {
+                    let pos = self
+                        .eager_q
+                        .iter()
+                        .position(|w| w.bank == bank_idx)
+                        .expect("decision implies a queued eager write");
+                    let req = self.eager_q.remove(pos).expect("position valid");
+                    self.issue_write(bank_idx, req, speed, OpKind::EagerWrite, now);
+                }
+                WriteDecision::Idle => {}
+            }
+        }
+    }
+
+    /// Index of the read to issue for `bank`: the oldest row-buffer hit
+    /// if any, else the oldest read.
+    fn pick_read(&self, bank: usize) -> Option<usize> {
+        let open = self.banks[bank].open_row;
+        let mut oldest: Option<usize> = None;
+        for (i, r) in self.read_q.iter().enumerate() {
+            if r.bank != bank {
+                continue;
+            }
+            if Some(r.row) == open {
+                return Some(i);
+            }
+            if oldest.is_none() {
+                oldest = Some(i);
+            }
+        }
+        oldest
+    }
+
+    /// Returns `false` when tFAW blocks the needed activation.
+    fn issue_read_at(&mut self, bank_idx: usize, pos: usize, now: SimTime) -> bool {
+        let req = self.read_q[pos];
+        let hit = self.banks[bank_idx].open_row == Some(req.row);
+        if !hit && !self.try_activate(self.cfg.rank_of(bank_idx), now) {
+            return false;
+        }
+        self.read_q.remove(pos);
+        let access_done = if hit {
+            now + self.cfg.t_cas
+        } else {
+            self.banks[bank_idx].open_row = Some(req.row);
+            now + self.cfg.t_rcd + self.cfg.t_cas
+        };
+        let xfer_start = access_done.max(self.bus_free_at);
+        let end = xfer_start + self.cfg.t_bus;
+        self.bus_free_at = end;
+        if hit {
+            self.energy.add_rb_hit_read();
+            self.stats.rb_hit_reads += 1;
+        } else {
+            self.energy.add_buffer_read();
+            self.stats.rb_miss_reads += 1;
+        }
+        let serial = self.alloc_serial();
+        let bank = &mut self.banks[bank_idx];
+        bank.busy_time += end.saturating_since(now);
+        bank.busy_until = end;
+        bank.in_flight = Some(InFlight {
+            serial,
+            kind: OpKind::Read,
+            line: req.line,
+            mapping: self.cfg.map_line(req.line),
+            speed: WriteSpeed::Normal,
+            factor: 1.0,
+            cancellable: false,
+            cancels: 0,
+            enq: req.enq,
+            remaining_at_start: 0.0,
+            pulse_start: end,
+            end,
+        });
+        self.completions.schedule(end, Completion { serial, bank: bank_idx });
+        true
+    }
+
+    fn issue_write(
+        &mut self,
+        bank_idx: usize,
+        req: QueuedReq,
+        speed: WriteSpeed,
+        kind: OpKind,
+        now: SimTime,
+    ) {
+        let factor = match speed {
+            WriteSpeed::Normal => 1.0,
+            // +GR: grade the slowdown by write-queue pressure.
+            WriteSpeed::Slow => self
+                .policy
+                .slow_factor_for_occupancy(self.write_q.len() as f64 / self.cfg.write_queue_cap as f64),
+        };
+        // A resumed (+WP) write only drives its outstanding fraction.
+        let pulse = self.cfg.t_wp.scale(factor * req.remaining);
+        // A cancelled write's data is still latched at the bank: its
+        // retry starts the pulse immediately without re-bursting data.
+        let pulse_start = if req.data_resident {
+            now
+        } else {
+            let xfer_start = now.max(self.bus_free_at);
+            self.bus_free_at = xfer_start + self.cfg.t_bus;
+            xfer_start + self.cfg.t_bus
+        };
+        let end = pulse_start + pulse;
+        if factor > 1.0 {
+            self.stats.writes_issued_slow += 1;
+        } else {
+            self.stats.writes_issued_normal += 1;
+        }
+        let serial = self.alloc_serial();
+        let bank = &mut self.banks[bank_idx];
+        bank.busy_time += end.saturating_since(now);
+        bank.busy_until = end;
+        bank.in_flight = Some(InFlight {
+            serial,
+            kind,
+            line: req.line,
+            mapping: self.cfg.map_line(req.line),
+            speed,
+            factor,
+            cancellable: self.policy.cancellable(speed),
+            cancels: req.cancels,
+            enq: req.enq,
+            remaining_at_start: req.remaining,
+            pulse_start,
+            end,
+        });
+        self.completions.schedule(end, Completion { serial, bank: bank_idx });
+    }
+
+    fn try_activate(&mut self, rank: usize, now: SimTime) -> bool {
+        let acts = &mut self.rank_acts[rank];
+        while acts
+            .front()
+            .is_some_and(|&t| now.saturating_since(t) >= self.cfg.t_faw)
+        {
+            acts.pop_front();
+        }
+        if acts.len() >= 4 {
+            return false;
+        }
+        acts.push_back(now);
+        true
+    }
+
+    /// Returns each bank's utilization (busy fraction) over `elapsed`.
+    pub fn bank_utilization(&self, elapsed: Duration) -> Vec<f64> {
+        self.banks
+            .iter()
+            .map(|b| b.busy_time.fraction_of(elapsed))
+            .collect()
+    }
+
+    /// Returns the mean bank utilization over `elapsed` (Figs. 3, 12).
+    pub fn avg_bank_utilization(&self, elapsed: Duration) -> f64 {
+        let v = self.bank_utilization(elapsed);
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    /// Returns the total time spent in write-drain mode up to `now`
+    /// (Fig. 13).
+    pub fn drain_time(&self, now: SimTime) -> Duration {
+        self.drain_tracker.busy_time(now)
+    }
+
+    /// Returns `true` while a write drain is in progress.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Projects memory lifetime from the wear accumulated over `elapsed`
+    /// (the paper's cyclic-execution methodology).
+    pub fn lifetime(&self, elapsed: Duration) -> LifetimeProjection {
+        let model = LifetimeModel::new(
+            self.endurance.base_endurance(),
+            self.cfg.blocks_per_bank(),
+            self.cfg.leveling_efficiency,
+        );
+        model.project(&self.ledger, elapsed)
+    }
+
+    /// Returns the current read/write/eager queue occupancies.
+    pub fn queue_depths(&self) -> (usize, usize, usize) {
+        (self.read_q.len(), self.write_q.len(), self.eager_q.len())
+    }
+
+    /// Returns how many banks the Wear Quota currently restricts to slow
+    /// writes (0 when the policy has no `+WQ`).
+    pub fn quota_restricted_banks(&self) -> usize {
+        self.quota.as_ref().map_or(0, |q| q.exceeded_count())
+    }
+
+    /// Zeroes every measurement (counters, wear ledger, energy account,
+    /// bank busy time, drain tracker, quota history) at an end-of-warmup
+    /// boundary, preserving microarchitectural state (queues, open rows,
+    /// in-flight operations, Start-Gap registers).
+    ///
+    /// `now` re-anchors the period clock and the drain tracker.
+    pub fn reset_stats(&mut self, now: SimTime) {
+        self.stats = CtrlStats::default();
+        self.energy = EnergyAccount::default();
+        let tracking = self.ledger.block_table().is_some();
+        self.ledger = WearLedger::new(self.cfg.num_banks, self.endurance, self.cancel_wear);
+        if tracking {
+            self.ledger = self
+                .ledger
+                .clone()
+                .with_block_tracking(self.cfg.blocks_per_bank() + 1);
+        }
+        for bank in &mut self.banks {
+            bank.busy_time = Duration::ZERO;
+        }
+        let was_draining = self.draining;
+        self.drain_tracker = BusyTracker::new();
+        if was_draining {
+            self.drain_tracker.set_busy(now);
+        }
+        if let Some(q) = &self.quota {
+            let mut qc = *q.config();
+            qc.endurance_per_block = self.endurance.base_endurance();
+            self.quota = Some(WearQuota::new(qc, self.cfg.num_banks));
+            self.next_period_at = now + qc.sample_period;
+        }
+    }
+}

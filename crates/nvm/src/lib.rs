@@ -1,0 +1,46 @@
+//! Resistive-memory (ReRAM) device models for the Mellow Writes
+//! reproduction.
+//!
+//! The paper's central physical premise is a write-latency/endurance
+//! trade-off: slowing a write by a factor *N* (by writing at lower
+//! dissipated power) multiplies cell endurance by *N^Expo_Factor* with
+//! `Expo_Factor` between 1 and 3 (Strukov's analytic model, Eq. 2 of the
+//! paper). This crate implements that model and everything downstream of
+//! it:
+//!
+//! - [`EnduranceModel`] — Eq. 2: endurance and per-write wear as a
+//!   function of the write-latency factor (Fig. 1).
+//! - [`WearLedger`] / [`BankWear`] — wear bookkeeping per bank, in units
+//!   of normal-write-equivalents, including prorated wear for cancelled
+//!   writes.
+//! - [`StartGap`] — the Start-Gap wear-leveling scheme (Qureshi et al.,
+//!   MICRO'09) used by the paper at bank granularity.
+//! - [`energy`] — the ReRAM cell/peripheral energy model reproducing
+//!   Tables V and VI.
+//! - [`LifetimeModel`] — projects multi-year memory lifetime from the
+//!   wear rate observed in a short simulation, exactly as the paper does
+//!   ("assume the system will cyclically execute the same execution
+//!   pattern").
+//!
+//! # Examples
+//!
+//! ```
+//! use mellow_nvm::EnduranceModel;
+//!
+//! // Table II: a 3.0x slow write at Expo_Factor 2.0 endures 4.5e7 writes.
+//! let model = EnduranceModel::reram_default();
+//! assert_eq!(model.endurance_at_factor(3.0).round(), 4.5e7);
+//! // ... equivalently, a slow write inflicts 1/9 the wear of a normal one.
+//! assert!((model.wear_per_write(3.0) - 1.0 / 9.0).abs() < 1e-12);
+//! ```
+
+pub mod energy;
+mod endurance;
+mod lifetime;
+mod startgap;
+mod wear;
+
+pub use endurance::{EnduranceModel, ExpoFactor};
+pub use lifetime::{LifetimeModel, LifetimeProjection, SECONDS_PER_YEAR};
+pub use startgap::StartGap;
+pub use wear::{BankWear, BlockWearTable, CancelWear, WearLedger};

@@ -1,0 +1,255 @@
+//! Lifetime projection from observed wear rates (paper §V methodology).
+
+use crate::WearLedger;
+use mellow_engine::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Seconds in a Julian year, the unit of the paper's lifetime figures.
+pub const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Projects memory lifetime from the wear rate observed in a (short)
+/// simulation.
+///
+/// The paper's methodology: "for a given workload, we assume the system
+/// will cyclically execute the same execution pattern. Then the lifetime
+/// is calculated as how much time it takes until one cell in the memory
+/// system reaches its wear limit."
+///
+/// With Start-Gap wear leveling running at bank granularity for years of
+/// cyclic execution, per-bank wear is spread almost evenly over the bank's
+/// blocks; the residual unevenness is captured by a *leveling efficiency*
+/// factor η (the same consideration that makes the paper budget its Wear
+/// Quota at `Ratio_quota = 0.9`). A bank's projected lifetime is then
+///
+/// ```text
+///   lifetime = η · BlkNum_bank · Endur_blk / (bank wear / elapsed)
+/// ```
+///
+/// and the memory's lifetime is the minimum over banks. For small
+/// configurations with per-block tracking enabled,
+/// [`project_from_blocks`](Self::project_from_blocks) instead uses the
+/// observed most-worn block directly.
+///
+/// # Examples
+///
+/// ```
+/// use mellow_nvm::{CancelWear, EnduranceModel, LifetimeModel, WearLedger, SECONDS_PER_YEAR};
+/// use mellow_engine::Duration;
+///
+/// let model = LifetimeModel::new(5e6, 1 << 20, 0.9);
+/// let mut ledger = WearLedger::new(1, EnduranceModel::reram_default(), CancelWear::Prorated);
+/// ledger.record_write(0, None, 1.0);
+/// // One normal write per microsecond on a 1 Mi-block bank:
+/// let years = model.project(&ledger, Duration::from_us(1)).min_years;
+/// assert!((years - 0.9 * (1u64 << 20) as f64 * 5e6 * 1e-6 / SECONDS_PER_YEAR).abs() / years < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeModel {
+    endurance_per_block: f64,
+    blocks_per_bank: u64,
+    leveling_efficiency: f64,
+}
+
+/// A lifetime projection: per-bank years plus the binding minimum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeProjection {
+    /// Projected lifetime of each bank, in years. Unworn banks project
+    /// `f64::INFINITY`.
+    pub per_bank_years: Vec<f64>,
+    /// The memory lifetime: the minimum over banks.
+    pub min_years: f64,
+}
+
+impl LifetimeModel {
+    /// Creates a model.
+    ///
+    /// `endurance_per_block` is in normal-write equivalents (the paper's
+    /// `Endur_blk`, 5·10⁶ by default); `blocks_per_bank` is the paper's
+    /// `BlkNum_bank`; `leveling_efficiency` is η in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is non-positive or η exceeds 1.
+    pub fn new(endurance_per_block: f64, blocks_per_bank: u64, leveling_efficiency: f64) -> Self {
+        assert!(
+            endurance_per_block > 0.0,
+            "block endurance must be positive"
+        );
+        assert!(blocks_per_bank > 0, "blocks per bank must be non-zero");
+        assert!(
+            leveling_efficiency > 0.0 && leveling_efficiency <= 1.0,
+            "leveling efficiency must be in (0, 1], got {leveling_efficiency}"
+        );
+        LifetimeModel {
+            endurance_per_block,
+            blocks_per_bank,
+            leveling_efficiency,
+        }
+    }
+
+    /// Returns the block endurance in normal-write equivalents.
+    pub fn endurance_per_block(&self) -> f64 {
+        self.endurance_per_block
+    }
+
+    /// Returns the number of blocks per bank.
+    pub fn blocks_per_bank(&self) -> u64 {
+        self.blocks_per_bank
+    }
+
+    /// Returns the leveling efficiency η.
+    pub fn leveling_efficiency(&self) -> f64 {
+        self.leveling_efficiency
+    }
+
+    /// Returns the total leveled wear budget of one bank, in normal-write
+    /// equivalents: `η · BlkNum · Endur_blk`.
+    pub fn bank_wear_budget(&self) -> f64 {
+        self.leveling_efficiency * self.blocks_per_bank as f64 * self.endurance_per_block
+    }
+
+    /// Projects lifetime from per-bank aggregate wear accumulated over
+    /// `elapsed` simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed` is zero.
+    pub fn project(&self, ledger: &WearLedger, elapsed: Duration) -> LifetimeProjection {
+        assert!(elapsed > Duration::ZERO, "elapsed time must be non-zero");
+        let elapsed_secs = elapsed.as_secs_f64();
+        let budget = self.bank_wear_budget();
+        let per_bank_years: Vec<f64> = ledger
+            .iter()
+            .map(|b| {
+                if b.total_wear <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    budget / (b.total_wear / elapsed_secs) / SECONDS_PER_YEAR
+                }
+            })
+            .collect();
+        let min_years = per_bank_years.iter().copied().fold(f64::INFINITY, f64::min);
+        LifetimeProjection {
+            per_bank_years,
+            min_years,
+        }
+    }
+
+    /// Projects lifetime from the observed most-worn *block* (requires the
+    /// ledger's per-block table): `Endur_blk / (max block wear / elapsed)`.
+    ///
+    /// Returns `None` when the ledger has no block table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed` is zero.
+    pub fn project_from_blocks(&self, ledger: &WearLedger, elapsed: Duration) -> Option<f64> {
+        assert!(elapsed > Duration::ZERO, "elapsed time must be non-zero");
+        let table = ledger.block_table()?;
+        let max_wear = table.max_wear();
+        Some(if max_wear <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.endurance_per_block / (max_wear / elapsed.as_secs_f64()) / SECONDS_PER_YEAR
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CancelWear, EnduranceModel};
+
+    fn ledger(banks: usize) -> WearLedger {
+        WearLedger::new(banks, EnduranceModel::reram_default(), CancelWear::Prorated)
+    }
+
+    #[test]
+    fn unworn_memory_lives_forever() {
+        let model = LifetimeModel::new(5e6, 1024, 0.9);
+        let proj = model.project(&ledger(4), Duration::from_us(1));
+        assert!(proj.min_years.is_infinite());
+        assert!(proj.per_bank_years.iter().all(|y| y.is_infinite()));
+    }
+
+    #[test]
+    fn min_over_banks_binds() {
+        let model = LifetimeModel::new(5e6, 1024, 0.9);
+        let mut l = ledger(2);
+        l.record_write(0, None, 1.0);
+        for _ in 0..10 {
+            l.record_write(1, None, 1.0);
+        }
+        let proj = model.project(&l, Duration::from_us(1));
+        assert!(proj.per_bank_years[1] < proj.per_bank_years[0]);
+        assert_eq!(proj.min_years, proj.per_bank_years[1]);
+        // 10x the wear -> 1/10 the lifetime.
+        assert!((proj.per_bank_years[0] / proj.per_bank_years[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_writes_extend_projected_lifetime_by_wear_ratio() {
+        let model = LifetimeModel::new(5e6, 1024, 0.9);
+        let mut norm = ledger(1);
+        let mut slow = ledger(1);
+        for _ in 0..100 {
+            norm.record_write(0, None, 1.0);
+            slow.record_write(0, None, 3.0);
+        }
+        let e = Duration::from_us(10);
+        let ratio = model.project(&slow, e).min_years / model.project(&norm, e).min_years;
+        assert!((ratio - 9.0).abs() < 1e-9, "quadratic 3x slow = 9x life");
+    }
+
+    #[test]
+    fn efficiency_scales_linearly() {
+        let mut l = ledger(1);
+        l.record_write(0, None, 1.0);
+        let e = Duration::from_us(1);
+        let y_09 = LifetimeModel::new(5e6, 64, 0.9).project(&l, e).min_years;
+        let y_10 = LifetimeModel::new(5e6, 64, 1.0).project(&l, e).min_years;
+        assert!((y_09 / y_10 - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_projection_uses_max_block() {
+        let model = LifetimeModel::new(100.0, 16, 1.0);
+        let mut l = ledger(1).with_block_tracking(16);
+        // Block 5 takes 10 writes over 1 us -> dies after 100/10 us... i.e.
+        // lifetime = 100/(10/1e-6 s) = 10 us.
+        for _ in 0..10 {
+            l.record_write(0, Some(5), 1.0);
+        }
+        let years = model.project_from_blocks(&l, Duration::from_us(1)).unwrap();
+        let expect = 10e-6 / SECONDS_PER_YEAR;
+        assert!((years - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn block_projection_none_without_table() {
+        let model = LifetimeModel::new(5e6, 16, 0.9);
+        assert!(model
+            .project_from_blocks(&ledger(1), Duration::from_us(1))
+            .is_none());
+    }
+
+    #[test]
+    fn bank_wear_budget_formula() {
+        let model = LifetimeModel::new(5e6, 1 << 20, 0.9);
+        let expect = 0.9 * (1u64 << 20) as f64 * 5e6;
+        assert!((model.bank_wear_budget() - expect).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn efficiency_above_one_rejected() {
+        let _ = LifetimeModel::new(5e6, 16, 1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_elapsed_rejected() {
+        let model = LifetimeModel::new(5e6, 16, 0.9);
+        let _ = model.project(&ledger(1), Duration::ZERO);
+    }
+}

@@ -1,0 +1,113 @@
+//! Whole-system configuration.
+
+use mellow_cache::CacheConfig;
+use mellow_core::WritePolicy;
+use mellow_cpu::CoreConfig;
+use mellow_engine::{Clock, Duration};
+use mellow_memctrl::MemConfig;
+use mellow_nvm::{CancelWear, EnduranceModel};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the complete simulated system (Tables I and II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Core clock (2 GHz).
+    pub core_clock: Clock,
+    /// Out-of-order core parameters.
+    pub core: CoreConfig,
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Last-level cache (hosts the Eager Mellow Writes machinery).
+    pub llc: CacheConfig,
+    /// Main-memory geometry and timing.
+    pub mem: MemConfig,
+    /// Write policy under evaluation.
+    pub policy: WritePolicy,
+    /// Device endurance model (Eq. 2).
+    pub endurance: EnduranceModel,
+    /// Wear charged to cancelled write attempts.
+    pub cancel_wear: CancelWear,
+    /// LLC utility-monitor sampling period (`T_sample`, 500 µs).
+    pub sample_period: Duration,
+    /// Master seed (workload and eager-probe RNG streams derive from
+    /// it).
+    pub seed: u64,
+    /// Track per-block wear (ground truth for validating the aggregate
+    /// lifetime model). Costs one `f64` per memory block — only enable
+    /// on small-capacity configurations.
+    pub track_block_wear: bool,
+}
+
+impl SystemConfig {
+    /// The paper's configuration with the given write policy.
+    pub fn paper_default(policy: WritePolicy) -> Self {
+        SystemConfig {
+            core_clock: Clock::from_ghz(2),
+            core: CoreConfig::default(),
+            l1: CacheConfig::l1d(),
+            l2: CacheConfig::l2(),
+            llc: CacheConfig::llc(),
+            mem: MemConfig::paper_default(),
+            policy,
+            endurance: EnduranceModel::reram_default(),
+            cancel_wear: CancelWear::Prorated,
+            sample_period: Duration::from_us(500),
+            seed: 0xC0FFEE,
+            track_block_wear: false,
+        }
+    }
+
+    /// Validates cross-component consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when line sizes disagree across the hierarchy or any
+    /// sub-configuration is invalid.
+    pub fn validate(&self) {
+        assert_eq!(self.l1.line_bytes, self.l2.line_bytes, "line size mismatch");
+        assert_eq!(
+            self.l2.line_bytes, self.llc.line_bytes,
+            "line size mismatch"
+        );
+        assert_eq!(
+            self.llc.line_bytes, self.mem.line_bytes,
+            "line size mismatch"
+        );
+        assert!(
+            self.sample_period > Duration::ZERO,
+            "sample period must be non-zero"
+        );
+        self.mem.validate();
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_default(WritePolicy::norm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_consistent() {
+        SystemConfig::paper_default(WritePolicy::be_mellow_sc()).validate();
+    }
+
+    #[test]
+    fn default_policy_is_norm() {
+        assert_eq!(SystemConfig::default().policy, WritePolicy::norm());
+    }
+
+    #[test]
+    #[should_panic(expected = "line size mismatch")]
+    fn mismatched_lines_rejected() {
+        let mut c = SystemConfig::default();
+        c.l1.line_bytes = 32;
+        c.validate();
+    }
+}

@@ -1,0 +1,200 @@
+//! The per-run metrics row.
+
+use crate::SystemConfig;
+use mellow_cache::{Cache, CacheStats};
+use mellow_cpu::Core;
+use mellow_engine::{Duration, SimTime};
+use mellow_memctrl::{Controller, CtrlStats};
+use mellow_nvm::energy::{EnergyAccount, EnergyModel};
+use serde::{Deserialize, Serialize};
+
+/// Everything measured in one `(workload, policy)` run — the atom from
+/// which every table and figure of the paper's evaluation is assembled.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Workload name.
+    pub workload: String,
+    /// Policy name (Table III notation, e.g. `BE-Mellow+SC+WQ`).
+    pub policy: String,
+    /// Instructions retired in the measured window.
+    pub instructions: u64,
+    /// Core cycles in the measured window.
+    pub core_cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Simulated time measured, in seconds.
+    pub elapsed_secs: f64,
+    /// LLC misses per 1000 instructions (Table IV's calibration metric).
+    pub mpki: f64,
+    /// Projected memory lifetime in years (min over banks; Fig. 11).
+    pub lifetime_years: f64,
+    /// Per-bank projected lifetimes in years.
+    pub per_bank_lifetime_years: Vec<f64>,
+    /// Mean bank utilization (Figs. 3 and 12).
+    pub avg_bank_utilization: f64,
+    /// Fraction of the measured window spent in write drains (Fig. 13).
+    pub drain_fraction: f64,
+    /// Total wear in normal-write equivalents across banks.
+    pub total_wear: f64,
+    /// Per-bank wear records (write counts by speed, cancellations,
+    /// leveling overhead) — the raw material for the Fig. 17 exponent
+    /// sensitivity recomputation.
+    pub bank_wear: Vec<mellow_nvm::BankWear>,
+    /// Fraction of completed demand+eager writes that were slow.
+    pub slow_write_fraction: f64,
+    /// Memory controller counters.
+    pub ctrl: CtrlStats,
+    /// LLC counters (eager issue/waste accounting lives here).
+    pub llc: CacheStats,
+    /// Raw energy-bearing operation counts.
+    pub energy_ops: EnergyAccount,
+}
+
+impl Metrics {
+    /// Gathers a metrics row from the system's components over the
+    /// measured `elapsed` window.
+    pub(crate) fn collect(
+        workload: &str,
+        cfg: &SystemConfig,
+        core: &Core,
+        llc: &Cache,
+        ctrl: &Controller,
+        now: SimTime,
+        elapsed: Duration,
+    ) -> Metrics {
+        let instructions = core.retired_instructions();
+        let lifetime = ctrl.lifetime(if elapsed > Duration::ZERO {
+            elapsed
+        } else {
+            Duration::from_ns(1)
+        });
+        let ledger = ctrl.ledger();
+        let completed: u64 = ledger.iter().map(|b| b.completed_writes()).sum();
+        let slow: u64 = ledger.iter().map(|b| b.slow_writes).sum();
+        Metrics {
+            workload: workload.to_owned(),
+            policy: cfg.policy.to_string(),
+            instructions,
+            core_cycles: core.cycles(),
+            ipc: core.ipc(),
+            elapsed_secs: elapsed.as_secs_f64(),
+            mpki: if instructions == 0 {
+                0.0
+            } else {
+                llc.stats().demand_misses as f64 * 1000.0 / instructions as f64
+            },
+            lifetime_years: lifetime.min_years,
+            per_bank_lifetime_years: lifetime.per_bank_years,
+            avg_bank_utilization: ctrl.avg_bank_utilization(elapsed.max(Duration::from_ns(1))),
+            drain_fraction: ctrl
+                .drain_time(now)
+                .fraction_of(elapsed.max(Duration::from_ns(1))),
+            total_wear: ledger.total_wear(),
+            bank_wear: ledger.iter().copied().collect(),
+            slow_write_fraction: if completed == 0 {
+                0.0
+            } else {
+                slow as f64 / completed as f64
+            },
+            ctrl: ctrl.stats().clone(),
+            llc: *llc.stats(),
+            energy_ops: *ctrl.energy(),
+        }
+    }
+
+    /// Total main-memory energy in picojoules under `model` (Fig. 16
+    /// uses CellC).
+    pub fn memory_energy_pj(&self, model: &EnergyModel) -> f64 {
+        self.energy_ops.total_pj(model)
+    }
+
+    /// Memory requests sent from the LLC (Fig. 14): `(reads, demand
+    /// writebacks, eager writebacks)`.
+    pub fn llc_requests(&self) -> (u64, u64, u64) {
+        (
+            self.ctrl.reads_accepted + self.ctrl.reads_forwarded,
+            self.ctrl.demand_writes_accepted,
+            self.ctrl.eager_writes_accepted,
+        )
+    }
+
+    /// Requests issued to banks, including cancelled write attempts
+    /// (Fig. 15).
+    pub fn issued_to_banks(&self) -> u64 {
+        self.ctrl.issued_to_banks()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<11} {:<18} IPC {:>5.3}  MPKI {:>6.2}  life {:>8.2}y  util {:>5.1}%  drain {:>4.1}%  slow {:>5.1}%",
+            self.workload,
+            self.policy,
+            self.ipc,
+            self.mpki,
+            self.lifetime_years,
+            self.avg_bank_utilization * 100.0,
+            self.drain_fraction * 100.0,
+            self.slow_write_fraction * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let m = Metrics {
+            workload: "stream".into(),
+            policy: "Norm".into(),
+            instructions: 1000,
+            core_cycles: 2000,
+            ipc: 0.5,
+            elapsed_secs: 1e-6,
+            mpki: 12.3,
+            lifetime_years: 4.5,
+            per_bank_lifetime_years: vec![4.5],
+            avg_bank_utilization: 0.25,
+            drain_fraction: 0.01,
+            total_wear: 10.0,
+            bank_wear: vec![],
+            slow_write_fraction: 0.5,
+            ctrl: CtrlStats::default(),
+            llc: CacheStats::default(),
+            energy_ops: EnergyAccount::default(),
+        };
+        let s = m.summary();
+        assert!(s.contains("stream"));
+        assert!(s.contains("Norm"));
+        assert!(s.contains("12.30"));
+    }
+
+    #[test]
+    fn energy_uses_model() {
+        let mut ops = EnergyAccount::default();
+        ops.add_normal_write();
+        let m = Metrics {
+            workload: "w".into(),
+            policy: "p".into(),
+            instructions: 0,
+            core_cycles: 0,
+            ipc: 0.0,
+            elapsed_secs: 0.0,
+            mpki: 0.0,
+            lifetime_years: 0.0,
+            per_bank_lifetime_years: vec![],
+            avg_bank_utilization: 0.0,
+            drain_fraction: 0.0,
+            total_wear: 0.0,
+            bank_wear: vec![],
+            slow_write_fraction: 0.0,
+            ctrl: CtrlStats::default(),
+            llc: CacheStats::default(),
+            energy_ops: ops,
+        };
+        let model = EnergyModel::fig16_default();
+        assert!((m.memory_energy_pj(&model) - 402.4).abs() < 0.05);
+    }
+}

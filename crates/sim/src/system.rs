@@ -1,0 +1,281 @@
+//! The wired full system and its tick loop.
+
+use crate::{Metrics, SystemConfig};
+use mellow_cache::{line_of, AccessId, Cache};
+use mellow_cpu::{Core, ReqId, TraceSource};
+use mellow_engine::{DetRng, SimTime};
+use mellow_memctrl::Controller;
+
+/// The complete simulated system: core → L1 → L2 → LLC → memory
+/// controller → ReRAM banks.
+///
+/// Construction wires the components; [`tick`](Self::tick) advances one
+/// core cycle (500 ps), moving requests down the hierarchy and
+/// responses back up, ticking the memory controller on every fifth core
+/// cycle (400 MHz), probing for Eager Mellow Write candidates while the
+/// LLC is idle, and sampling the utility monitor every `T_sample`.
+///
+/// Most users should drive it through
+/// [`Experiment`](crate::Experiment), which adds the paper's
+/// warm-up/measure protocol.
+pub struct System {
+    cfg: SystemConfig,
+    core: Core,
+    l1: Cache,
+    l2: Cache,
+    llc: Cache,
+    ctrl: Controller,
+    eager_rng: DetRng,
+    cycle: u64,
+    now: SimTime,
+    measure_start: SimTime,
+    next_sample_at: SimTime,
+    /// Core cycles per memory cycle (5 for 2 GHz / 400 MHz).
+    mem_divisor: u64,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cycle", &self.cycle)
+            .field("now", &self.now)
+            .field("policy", &self.cfg.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Builds a system running `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is inconsistent (see
+    /// [`SystemConfig::validate`]) or the memory clock period is not a
+    /// multiple of the core clock period.
+    pub fn new(cfg: SystemConfig, trace: Box<dyn TraceSource>) -> Self {
+        cfg.validate();
+        let core_ps = cfg.core_clock.period().as_ps();
+        let mem_ps = cfg.mem.clock.period().as_ps();
+        assert_eq!(
+            mem_ps % core_ps,
+            0,
+            "memory clock must divide evenly into core cycles"
+        );
+        let core = Core::new(cfg.core, trace);
+        let l1 = Cache::new(cfg.l1.clone());
+        let l2 = Cache::new(cfg.l2.clone());
+        let mut llc = Cache::new(cfg.llc.clone());
+        if cfg.policy.base.uses_eager() {
+            llc.enable_eager();
+        }
+        let mut ctrl = Controller::new(
+            cfg.mem.clone(),
+            cfg.policy,
+            cfg.endurance,
+            cfg.cancel_wear,
+        );
+        if cfg.track_block_wear {
+            ctrl.enable_block_tracking();
+        }
+        let eager_rng = DetRng::seed_from(cfg.seed).derive(0x000E_A6EE);
+        let next_sample_at = SimTime::ZERO + cfg.sample_period;
+        System {
+            core,
+            l1,
+            l2,
+            llc,
+            ctrl,
+            eager_rng,
+            cycle: 0,
+            now: SimTime::ZERO,
+            measure_start: SimTime::ZERO,
+            next_sample_at,
+            mem_divisor: mem_ps / core_ps,
+            cfg,
+        }
+    }
+
+    /// Returns the current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Returns the core (for inspection).
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Returns the LLC (for inspection).
+    pub fn llc(&self) -> &Cache {
+        &self.llc
+    }
+
+    /// Returns the L1 data cache (for inspection).
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// Returns the L2 cache (for inspection).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Returns the memory controller (for inspection).
+    pub fn controller(&self) -> &Controller {
+        &self.ctrl
+    }
+
+    /// Advances the system by one core cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        self.now = self.cfg.core_clock.cycles_to_time(self.cycle);
+        let now = self.now;
+
+        // Core: retire, dispatch, and issue memory ops into the L1.
+        let line_bytes = self.cfg.l1.line_bytes;
+        let l1 = &mut self.l1;
+        self.core.tick(|acc| {
+            l1.try_demand(
+                AccessId(acc.id.0),
+                line_of(acc.addr, line_bytes),
+                acc.is_store,
+                now,
+            )
+        });
+
+        self.l1.tick(now);
+        self.l2.tick(now);
+        self.llc.tick(now);
+        if self.cycle.is_multiple_of(self.mem_divisor) {
+            self.ctrl.tick(now);
+        }
+
+        // Responses upward.
+        while let Some(id) = self.l1.pop_completion() {
+            self.core.complete(ReqId(id.0));
+        }
+        while let Some(line) = self.l2.pop_fill_up() {
+            self.l1.deliver_fill(line, now);
+        }
+        while let Some(line) = self.llc.pop_fill_up() {
+            self.l2.deliver_fill(line, now);
+        }
+        while let Some(line) = self.ctrl.pop_read_done() {
+            self.llc.deliver_fill(line, now);
+        }
+
+        // Requests downward. Writebacks drain before fetches so that an
+        // eviction of line X followed by a re-fetch of X observes the
+        // write.
+        while let Some(line) = self.l1.peek_writeback_down() {
+            if self.l2.try_writeback(line, now) {
+                self.l1.pop_writeback_down();
+            } else {
+                break;
+            }
+        }
+        while let Some(line) = self.l1.peek_miss_down() {
+            if self.l2.try_fetch(line, now) {
+                self.l1.pop_miss_down();
+            } else {
+                break;
+            }
+        }
+        while let Some(line) = self.l2.peek_writeback_down() {
+            if self.llc.try_writeback(line, now) {
+                self.l2.pop_writeback_down();
+            } else {
+                break;
+            }
+        }
+        while let Some(line) = self.l2.peek_miss_down() {
+            if self.llc.try_fetch(line, now) {
+                self.l2.pop_miss_down();
+            } else {
+                break;
+            }
+        }
+        while let Some(line) = self.llc.peek_writeback_down() {
+            if self.ctrl.try_write(line, now) {
+                self.llc.pop_writeback_down();
+            } else {
+                break;
+            }
+        }
+        while let Some(line) = self.llc.peek_miss_down() {
+            if self.ctrl.try_read(line, now) {
+                self.llc.pop_miss_down();
+            } else {
+                break;
+            }
+        }
+
+        // Eager Mellow Writes: any idle-LLC cycle with room in the Eager
+        // Mellow queue, probe one random set for a useless dirty line.
+        if self.cfg.policy.base.uses_eager()
+            && self.llc.input_idle()
+            && self.ctrl.eager_has_room()
+        {
+            if let Some(line) = self.llc.eager_candidate(&mut self.eager_rng) {
+                self.ctrl.try_eager(line, now);
+            }
+        }
+
+        // Utility-monitor sampling every T_sample.
+        if self.now >= self.next_sample_at {
+            self.llc.sample_utility();
+            self.next_sample_at += self.cfg.sample_period;
+        }
+    }
+
+    /// Runs until `n` more instructions retire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to retire them within `400 × n + 10⁷`
+    /// cycles (a deadlock would otherwise spin forever).
+    pub fn run_instructions(&mut self, n: u64) {
+        let target = self.core.retired_instructions() + n;
+        let cycle_cap = self.cycle + 400 * n + 10_000_000;
+        while self.core.retired_instructions() < target {
+            self.tick();
+            assert!(
+                self.cycle < cycle_cap,
+                "no forward progress: {} of {} instructions after {} cycles",
+                self.core.retired_instructions(),
+                target,
+                self.cycle
+            );
+        }
+    }
+
+    /// Marks the end of warm-up: zeroes every counter while keeping all
+    /// microarchitectural state (cache contents, queues, monitor
+    /// decisions, Start-Gap registers).
+    pub fn begin_measurement(&mut self) {
+        self.core.reset_stats();
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.llc.reset_stats();
+        self.ctrl.reset_stats(self.now);
+        self.measure_start = self.now;
+    }
+
+    /// Builds the metrics row for the measured window.
+    pub fn metrics(&self, workload: &str) -> Metrics {
+        Metrics::collect(
+            workload,
+            &self.cfg,
+            &self.core,
+            &self.llc,
+            &self.ctrl,
+            self.now,
+            self.now.saturating_since(self.measure_start),
+        )
+    }
+}

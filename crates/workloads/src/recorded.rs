@@ -1,0 +1,271 @@
+//! Trace capture and replay.
+//!
+//! Synthetic generators are convenient, but comparing policies on the
+//! *identical* reference stream — or archiving a trace alongside
+//! results — requires a materialized trace. [`RecordedTrace`] captures
+//! any [`TraceSource`] into memory, replays it cyclically (the paper's
+//! cyclic-execution lifetime methodology), and round-trips through a
+//! simple line-oriented text format:
+//!
+//! ```text
+//! # one record per line: <nonmem> <op>
+//! # <op> is l<addr> (load), s<addr> (store), d<addr> (dependent load),
+//! # or `-` for no memory operation. Addresses are hex.
+//! 12 l1f40
+//! 0 s1f40
+//! 3 -
+//! ```
+
+use crate::SyntheticWorkload;
+use mellow_cpu::{MemOp, TraceRecord, TraceSource};
+use std::io::{self, BufRead, Write};
+
+/// A materialized instruction trace, replayed cyclically.
+///
+/// # Examples
+///
+/// ```
+/// use mellow_cpu::TraceSource;
+/// use mellow_workloads::{RecordedTrace, SyntheticWorkload, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::by_name("gups").unwrap();
+/// let mut live = SyntheticWorkload::new(spec, 1);
+/// let mut trace = RecordedTrace::capture(&mut live, 100);
+/// // Round-trip through the text format.
+/// let mut buf = Vec::new();
+/// trace.save(&mut buf).unwrap();
+/// let replayed = RecordedTrace::load(buf.as_slice()).unwrap();
+/// assert_eq!(trace.records(), replayed.records());
+/// let _ = trace.next_record(); // an endless, cyclic TraceSource
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedTrace {
+    records: Vec<TraceRecord>,
+    idx: usize,
+}
+
+impl RecordedTrace {
+    /// Wraps an explicit record list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty (an empty trace cannot feed the
+    /// core).
+    pub fn from_records(records: Vec<TraceRecord>) -> Self {
+        assert!(!records.is_empty(), "a trace must have at least one record");
+        RecordedTrace { records, idx: 0 }
+    }
+
+    /// Captures `n` records from a live source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn capture(source: &mut dyn TraceSource, n: usize) -> Self {
+        assert!(n > 0, "capture length must be non-zero");
+        Self::from_records((0..n).map(|_| source.next_record()).collect())
+    }
+
+    /// Captures a whole synthetic workload preset in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn from_synthetic(mut workload: SyntheticWorkload, n: usize) -> Self {
+        Self::capture(&mut workload, n)
+    }
+
+    /// Returns the captured records.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Returns the number of captured records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Always `false`: construction rejects empty traces.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns the total instructions one pass of the trace represents.
+    pub fn instructions_per_pass(&self) -> u64 {
+        self.records.iter().map(TraceRecord::instructions).sum()
+    }
+
+    /// Writes the trace in the line-oriented text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn save<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        for rec in &self.records {
+            match rec.op {
+                None => writeln!(writer, "{} -", rec.nonmem)?,
+                Some(op) => {
+                    let kind = match (op.is_store, op.depends_on_prev) {
+                        (true, _) => 's',
+                        (false, true) => 'd',
+                        (false, false) => 'l',
+                    };
+                    writeln!(writer, "{} {kind}{:x}", rec.nonmem, op.addr)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a trace in the line-oriented text format. Blank lines and
+    /// lines starting with `#` are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] on malformed lines, or an
+    /// empty trace; propagates I/O errors from `reader`.
+    pub fn load<R: BufRead>(reader: R) -> io::Result<Self> {
+        let bad = |line_no: usize, msg: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace line {line_no}: {msg}"),
+            )
+        };
+        let mut records = Vec::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            let line_no = i + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let (nonmem_s, op_s) = trimmed
+                .split_once(' ')
+                .ok_or_else(|| bad(line_no, "expected `<nonmem> <op>`"))?;
+            let nonmem: u32 = nonmem_s
+                .parse()
+                .map_err(|_| bad(line_no, "bad instruction count"))?;
+            let op = match op_s {
+                "-" => None,
+                _ => {
+                    let (kind, addr_s) = op_s.split_at(1);
+                    let addr = u64::from_str_radix(addr_s, 16)
+                        .map_err(|_| bad(line_no, "bad hex address"))?;
+                    Some(match kind {
+                        "l" => MemOp::load(addr),
+                        "s" => MemOp::store(addr),
+                        "d" => MemOp::load(addr).dependent(),
+                        _ => return Err(bad(line_no, "op kind must be l, s or d")),
+                    })
+                }
+            };
+            records.push(TraceRecord { nonmem, op });
+        }
+        if records.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trace holds no records",
+            ));
+        }
+        Ok(Self::from_records(records))
+    }
+}
+
+impl TraceSource for RecordedTrace {
+    fn next_record(&mut self) -> TraceRecord {
+        let rec = self.records[self.idx];
+        self.idx = (self.idx + 1) % self.records.len();
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadSpec;
+
+    fn sample() -> RecordedTrace {
+        RecordedTrace::from_records(vec![
+            TraceRecord {
+                nonmem: 12,
+                op: Some(MemOp::load(0x1F40)),
+            },
+            TraceRecord {
+                nonmem: 0,
+                op: Some(MemOp::store(0x1F40)),
+            },
+            TraceRecord {
+                nonmem: 7,
+                op: Some(MemOp::load(0xABC).dependent()),
+            },
+            TraceRecord { nonmem: 3, op: None },
+        ])
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        trace.save(&mut buf).unwrap();
+        let loaded = RecordedTrace::load(buf.as_slice()).unwrap();
+        assert_eq!(trace.records(), loaded.records());
+    }
+
+    #[test]
+    fn text_format_is_as_documented() {
+        let mut buf = Vec::new();
+        sample().save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "12 l1f40\n0 s1f40\n7 dabc\n3 -\n");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n5 l10\n  \n# tail\n0 -\n";
+        let t = RecordedTrace::load(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.instructions_per_pass(), 6);
+    }
+
+    #[test]
+    fn replay_is_cyclic() {
+        let mut t = sample();
+        let len = t.len();
+        let first: Vec<_> = (0..len).map(|_| t.next_record()).collect();
+        let second: Vec<_> = (0..len).map(|_| t.next_record()).collect();
+        assert_eq!(first, second);
+        assert_eq!(first, sample().records());
+    }
+
+    #[test]
+    fn capture_matches_live_source() {
+        let spec = WorkloadSpec::by_name("stream").unwrap();
+        let mut live = SyntheticWorkload::new(spec.clone(), 5);
+        let captured = RecordedTrace::capture(&mut live, 64);
+        let mut fresh = SyntheticWorkload::new(spec, 5);
+        for (i, rec) in captured.records().iter().enumerate() {
+            assert_eq!(*rec, fresh.next_record(), "record {i}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        for bad in ["nonsense", "x l10", "5 q10", "5 lZZZ", "5"] {
+            let text = format!("{bad}\n");
+            let err = RecordedTrace::load(text.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_rejected_on_load() {
+        let err = RecordedTrace::load("# only comments\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn empty_records_rejected() {
+        let _ = RecordedTrace::from_records(vec![]);
+    }
+}

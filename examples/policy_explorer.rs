@@ -1,0 +1,56 @@
+//! Policy explorer: sweep every Table III policy on one workload and
+//! print the performance/lifetime frontier.
+//!
+//! ```text
+//! cargo run --release --example policy_explorer [workload]
+//! ```
+
+use mellow_writes::core::WritePolicy;
+use mellow_writes::engine::Duration;
+use mellow_writes::sim::{Experiment, Metrics};
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "GemsFDTD".into());
+    println!("Policy frontier for {workload}\n");
+
+    let mut policies = WritePolicy::paper_set();
+    policies.push(WritePolicy::slow());
+    policies.push(WritePolicy::slow().with_cancel_slow());
+
+    let mut results: Vec<Metrics> = Vec::new();
+    for policy in policies {
+        let m = Experiment::new(&workload, policy)
+            .warmup(200_000)
+            .warmup_llc_fills(1.2)
+            .instructions(300_000)
+            .configure(|c| {
+                c.sample_period = Duration::from_us(40);
+                c.mem.sample_period = c.sample_period;
+            })
+            .run();
+        println!("{}", m.summary());
+        results.push(m);
+    }
+
+    let base_ipc = results
+        .iter()
+        .find(|m| m.policy == "Norm")
+        .map(|m| m.ipc)
+        .expect("Norm is in the sweep");
+
+    println!("\nPareto frontier (no other policy has both higher IPC and longer lifetime):");
+    for m in &results {
+        let dominated = results.iter().any(|o| {
+            (o.ipc > m.ipc && o.lifetime_years >= m.lifetime_years)
+                || (o.ipc >= m.ipc && o.lifetime_years > m.lifetime_years)
+        });
+        if !dominated {
+            println!(
+                "  {:<18} {:>5.2}x IPC of Norm, {:>8.2} years",
+                m.policy,
+                m.ipc / base_ipc,
+                m.lifetime_years
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: evaluate the paper's headline configuration
+//! (`BE-Mellow+SC+WQ`) against the baseline (`Norm`) on one workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload]
+//! ```
+//!
+//! `workload` is any Table IV name (default `stream`).
+
+use mellow_writes::core::WritePolicy;
+use mellow_writes::nvm::energy::EnergyModel;
+use mellow_writes::sim::Experiment;
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "stream".into());
+    println!("Mellow Writes quickstart — workload: {workload}\n");
+
+    let run = |policy: WritePolicy| {
+        Experiment::new(&workload, policy)
+            .warmup(200_000)
+            .warmup_llc_fills(1.2)
+            .instructions(400_000)
+            .configure(|c| {
+                // Scale the quota/monitor period with the short window.
+                c.sample_period = mellow_writes::engine::Duration::from_us(40);
+                c.mem.sample_period = c.sample_period;
+            })
+            .run()
+    };
+
+    let norm = run(WritePolicy::norm());
+    let mellow = run(WritePolicy::be_mellow_sc().with_wear_quota());
+
+    println!("{}", norm.summary());
+    println!("{}", mellow.summary());
+
+    let model = EnergyModel::fig16_default();
+    println!("\nBE-Mellow+SC+WQ versus the Norm baseline:");
+    println!("  lifetime     {:>6.2}x", mellow.lifetime_years / norm.lifetime_years);
+    println!("  performance  {:>6.2}x", mellow.ipc / norm.ipc);
+    println!(
+        "  memory energy {:>5.2}x",
+        mellow.memory_energy_pj(&model) / norm.memory_energy_pj(&model)
+    );
+    println!(
+        "  slow writes  {:>5.1}% of completed writes",
+        mellow.slow_write_fraction * 100.0
+    );
+    let (r, w, e) = mellow.llc_requests();
+    println!("  LLC traffic  {r} reads, {w} demand writebacks, {e} eager writebacks");
+}
