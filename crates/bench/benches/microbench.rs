@@ -118,7 +118,7 @@ fn bench_system_throughput(c: &mut Criterion) {
     group.sample_size(10);
     for workload in ["stream", "gups"] {
         group.bench_function(format!("simulate_20k_instructions_{workload}"), |b| {
-            let mut spec = WorkloadSpec::by_name(workload).unwrap();
+            let mut spec = WorkloadSpec::try_by_name(workload).unwrap();
             spec.working_set_bytes = 16 << 20;
             b.iter(|| {
                 let mut system = Experiment::with_spec(spec.clone(), WritePolicy::be_mellow_sc())
@@ -136,6 +136,24 @@ fn bench_system_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sweep_overhead(c: &mut Criterion) {
+    use mellow_bench::{try_experiment_for, CellKey, Scale};
+    // The sweep path builds each cell's experiment and hashes it into a
+    // store key before any simulation; this guards that per-cell setup
+    // stays negligible next to the simulation itself.
+    c.bench_function("sweep_cell_build_and_key", |b| {
+        b.iter(|| {
+            let e = try_experiment_for(
+                black_box("GemsFDTD"),
+                WritePolicy::be_mellow_sc(),
+                Scale::quick(),
+            )
+            .unwrap();
+            black_box(CellKey::for_experiment(&e))
+        });
+    });
+}
+
 criterion_group!(
     benches,
     bench_lru,
@@ -145,5 +163,6 @@ criterion_group!(
     bench_endurance,
     bench_controller_tick,
     bench_system_throughput,
+    bench_sweep_overhead,
 );
 criterion_main!(benches);

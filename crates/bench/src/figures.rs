@@ -4,7 +4,7 @@
 //! `all` runs each `(workload, policy)` cell exactly once); analytic
 //! artifacts (Fig. 1, Tables V/VI) compute directly from the models.
 
-use crate::{experiment_for, run_matrix, MatrixKey, Scale};
+use crate::{into_matrix, Cell, MatrixKey, Scale, Sweep, SweepSettings};
 use mellow_core::WritePolicy;
 use mellow_engine::stats::geometric_mean;
 use mellow_memctrl::MemConfig;
@@ -35,9 +35,41 @@ pub fn main_policies() -> Vec<WritePolicy> {
     v
 }
 
-/// Runs the shared policy matrix used by Figs. 3 and 10–17.
+/// The cells of the shared policy matrix used by Figs. 3 and 10–17, in
+/// workload-major order.
+pub fn main_cells() -> Vec<Cell> {
+    matrix_cells(&WORKLOADS, &main_policies())
+}
+
+/// Runs the shared policy matrix used by Figs. 3 and 10–17 with default
+/// sweep settings.
 pub fn main_matrix(scale: Scale) -> Vec<(MatrixKey, Metrics)> {
-    run_matrix(&WORKLOADS, &main_policies(), scale)
+    main_matrix_with(scale, &SweepSettings::default())
+}
+
+/// Runs the shared policy matrix with explicit sweep settings.
+pub fn main_matrix_with(scale: Scale, settings: &SweepSettings) -> Vec<(MatrixKey, Metrics)> {
+    run_cells(scale, settings, main_cells())
+}
+
+fn matrix_cells(workloads: &[&str], policies: &[WritePolicy]) -> Vec<Cell> {
+    workloads
+        .iter()
+        .flat_map(|&w| policies.iter().map(move |&p| Cell::new(w, p)))
+        .collect()
+}
+
+fn run_cells(
+    scale: Scale,
+    settings: &SweepSettings,
+    cells: Vec<Cell>,
+) -> Vec<(MatrixKey, Metrics)> {
+    into_matrix(
+        settings
+            .apply(Sweep::new(scale).cells(cells))
+            .run()
+            .expect("matrix cells use Table IV names"),
+    )
 }
 
 fn find<'m>(
@@ -104,7 +136,11 @@ pub fn tab_energy() -> String {
     );
     for cell in CellKind::ALL {
         let (b, n, sl, r) = EnergyModel::for_cell(cell).table_vi_row();
-        let _ = writeln!(s, "{:<8} {b:>12.1} {n:>12.1} {sl:>12.1} {r:>8.2}", cell.name());
+        let _ = writeln!(
+            s,
+            "{:<8} {b:>12.1} {n:>12.1} {sl:>12.1} {r:>8.2}",
+            cell.name()
+        );
     }
     s
 }
@@ -124,9 +160,20 @@ pub fn static_policies() -> Vec<WritePolicy> {
     ]
 }
 
-/// Runs the static-latency matrix shared by Figs. 2 and 19.
+/// The cells of the static-latency matrix shared by Figs. 2 and 19.
+pub fn static_cells() -> Vec<Cell> {
+    matrix_cells(&WORKLOADS, &static_policies())
+}
+
+/// Runs the static-latency matrix shared by Figs. 2 and 19 with default
+/// sweep settings.
 pub fn static_matrix(scale: Scale) -> Vec<(MatrixKey, Metrics)> {
-    run_matrix(&WORKLOADS, &static_policies(), scale)
+    static_matrix_with(scale, &SweepSettings::default())
+}
+
+/// Runs the static-latency matrix with explicit sweep settings.
+pub fn static_matrix_with(scale: Scale, settings: &SweepSettings) -> Vec<(MatrixKey, Metrics)> {
+    run_cells(scale, settings, static_cells())
 }
 
 /// Fig. 2 — static write latencies (1.0/1.5/2.0/3.0×) with and without
@@ -139,11 +186,7 @@ pub fn fig2(statics: &[(MatrixKey, Metrics)]) -> String {
     )
 }
 
-fn static_report(
-    title: &str,
-    matrix: &[(MatrixKey, Metrics)],
-    policies: &[WritePolicy],
-) -> String {
+fn static_report(title: &str, matrix: &[(MatrixKey, Metrics)], policies: &[WritePolicy]) -> String {
     let names: Vec<String> = policies.iter().map(|p| p.to_string()).collect();
     let cols: Vec<&str> = names.iter().map(String::as_str).collect();
     let mut s = header(&format!("{title} — normalized IPC"), &cols);
@@ -236,7 +279,13 @@ pub fn fig10(matrix: &[(MatrixKey, Metrics)]) -> String {
         "Fig. 10: IPC (normalized to Norm)",
         matrix,
         &PLOT_POLICIES,
-        |m, base| if base.ipc > 0.0 { m.ipc / base.ipc } else { 0.0 },
+        |m, base| {
+            if base.ipc > 0.0 {
+                m.ipc / base.ipc
+            } else {
+                0.0
+            }
+        },
     )
 }
 
@@ -335,8 +384,7 @@ pub fn fig16(matrix: &[(MatrixKey, Metrics)]) -> String {
 /// (valid for non-WQ policies; see `BankWear::wear_under`).
 pub fn lifetime_under(m: &Metrics, expo: f64, slow_factor: f64) -> f64 {
     let cfg = MemConfig::paper_default();
-    let budget =
-        cfg.leveling_efficiency * cfg.blocks_per_bank() as f64 * 5e6;
+    let budget = cfg.leveling_efficiency * cfg.blocks_per_bank() as f64 * 5e6;
     m.bank_wear
         .iter()
         .map(|b| {
@@ -395,18 +443,38 @@ pub fn fig17(matrix: &[(MatrixKey, Metrics)]) -> String {
 
 /// Fig. 18 — bank-level-parallelism sensitivity on GemsFDTD: lifetime,
 /// utilization, eager writes, and issued normal writes at 16/8/4 banks.
-pub fn fig18(scale: Scale) -> String {
+pub fn fig18(scale: Scale, settings: &SweepSettings) -> String {
+    const BANKS: [(usize, usize); 3] = [(16, 4), (8, 2), (4, 1)];
+    let cells = BANKS.iter().flat_map(|&(banks, ranks)| {
+        [WritePolicy::norm(), WritePolicy::be_mellow_sc()]
+            .into_iter()
+            .map(move |policy| {
+                Cell::new("GemsFDTD", policy)
+                    .with_edit(move |c| c.mem = c.mem.clone().with_banks(banks, ranks))
+            })
+    });
+    let results = settings
+        .apply(Sweep::new(scale).cells(cells))
+        .run()
+        .expect("GemsFDTD is a Table IV name");
+
     let mut s = String::from("\n=== Fig. 18: GemsFDTD vs number of banks ===\n");
     let _ = writeln!(
         s,
         "{:<6} {:<14} {:>7} {:>10} {:>8} {:>12} {:>14} {:>12}",
-        "banks", "policy", "IPC", "life(yr)", "util%", "eager-wr", "norm-wr-issued", "slow-wr-issued"
+        "banks",
+        "policy",
+        "IPC",
+        "life(yr)",
+        "util%",
+        "eager-wr",
+        "norm-wr-issued",
+        "slow-wr-issued"
     );
-    for (banks, ranks) in [(16usize, 4usize), (8, 2), (4, 1)] {
-        for policy in [WritePolicy::norm(), WritePolicy::be_mellow_sc()] {
-            let m = experiment_for("GemsFDTD", policy, scale)
-                .configure(|c| c.mem = c.mem.clone().with_banks(banks, ranks))
-                .run();
+    let mut rows = results.iter();
+    for (banks, _) in BANKS {
+        for _ in 0..2 {
+            let m = &rows.next().expect("one row per cell").metrics;
             let _ = writeln!(
                 s,
                 "{banks:<6} {:<14} {:>7.3} {:>10.2} {:>8.2} {:>12} {:>14} {:>12}",
@@ -427,9 +495,8 @@ pub fn fig18(scale: Scale) -> String {
 /// workload (the static policy with ≥ 8-year lifetime and the best
 /// IPC).
 pub fn fig19(static_matrix: &[(MatrixKey, Metrics)], matrix: &[(MatrixKey, Metrics)]) -> String {
-    let mut s = String::from(
-        "\n=== Fig. 19: BE-Mellow+SC+WQ vs best static policy (8-year floor) ===\n",
-    );
+    let mut s =
+        String::from("\n=== Fig. 19: BE-Mellow+SC+WQ vs best static policy (8-year floor) ===\n");
     let _ = writeln!(
         s,
         "{:<12} {:<22} {:>10} {:>12} {:>12} {:>8}",
@@ -480,7 +547,34 @@ pub fn fig19(static_matrix: &[(MatrixKey, Metrics)], matrix: &[(MatrixKey, Metri
 /// work): on the workloads the paper says lose to the best static
 /// policy because they are latency-sensitive (hmmer, lbm, stream),
 /// compare two-level BE-Mellow against the graded variant.
-pub fn graded(scale: Scale) -> String {
+pub fn graded(scale: Scale, settings: &SweepSettings) -> String {
+    // Write-queue pressure is what grading responds to; the 16-bank
+    // default rarely builds any, so the study runs the bank-starved
+    // 4-bank configuration of Fig. 18 alongside it.
+    const BANKS: [(usize, usize); 2] = [(16, 4), (4, 1)];
+    const GRADED_WORKLOADS: [&str; 3] = ["lbm", "stream", "libquantum"];
+    let policies = || {
+        [
+            WritePolicy::norm(),
+            WritePolicy::be_mellow_sc().with_wear_quota(),
+            WritePolicy::be_mellow_sc()
+                .with_wear_quota()
+                .with_graded_latency(),
+        ]
+    };
+    let cells = BANKS.iter().flat_map(|&(banks, ranks)| {
+        GRADED_WORKLOADS.iter().flat_map(move |&w| {
+            policies().into_iter().map(move |policy| {
+                Cell::new(w, policy)
+                    .with_edit(move |c| c.mem = c.mem.clone().with_banks(banks, ranks))
+            })
+        })
+    });
+    let results = settings
+        .apply(Sweep::new(scale).cells(cells))
+        .run()
+        .expect("graded study uses Table IV names");
+
     let mut s = String::from(
         "
 === Extension: graded multi-latency Mellow Writes (+GR, paper future work) ===
@@ -491,20 +585,12 @@ pub fn graded(scale: Scale) -> String {
         "{:<12} {:<22} {:>7} {:>10} {:>10}",
         "workload", "policy", "IPC", "life(yr)", "slow-frac"
     );
-    // Write-queue pressure is what grading responds to; the 16-bank
-    // default rarely builds any, so the study runs the bank-starved
-    // 4-bank configuration of Fig. 18 alongside it.
-    for (banks, ranks) in [(16usize, 4usize), (4, 1)] {
+    let mut rows = results.iter();
+    for (banks, _) in BANKS {
         let _ = writeln!(s, "--- {banks} banks ---");
-        for w in ["lbm", "stream", "libquantum"] {
-            for policy in [
-                WritePolicy::norm(),
-                WritePolicy::be_mellow_sc().with_wear_quota(),
-                WritePolicy::be_mellow_sc().with_wear_quota().with_graded_latency(),
-            ] {
-                let m = experiment_for(w, policy, scale)
-                    .configure(|c| c.mem = c.mem.clone().with_banks(banks, ranks))
-                    .run();
+        for w in GRADED_WORKLOADS {
+            for _ in policies() {
+                let m = &rows.next().expect("one row per cell").metrics;
                 let _ = writeln!(
                     s,
                     "{w:<12} {:<22} {:>7.3} {:>10.2} {:>9.1}%",
@@ -520,16 +606,21 @@ pub fn graded(scale: Scale) -> String {
 }
 
 /// Calibration — measured MPKI and IPC under `Norm` vs Table IV targets.
-pub fn calibrate(scale: Scale) -> String {
+pub fn calibrate(scale: Scale, settings: &SweepSettings) -> String {
+    let results = settings
+        .apply(Sweep::new(scale).cells(WORKLOADS.map(|w| Cell::new(w, WritePolicy::norm()))))
+        .run()
+        .expect("calibration sweeps the Table IV names");
+
     let mut s = String::from("\n=== Calibration: MPKI vs Table IV (Norm policy) ===\n");
     let _ = writeln!(
         s,
         "{:<12} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10}",
         "workload", "mpki", "target", "IPC", "util%", "drain%", "life(yr)"
     );
-    for w in WORKLOADS {
-        let m = experiment_for(w, WritePolicy::norm(), scale).run();
-        let target = mellow_workloads::WorkloadSpec::by_name(w)
+    for (w, r) in WORKLOADS.iter().zip(&results) {
+        let m = &r.metrics;
+        let target = mellow_workloads::WorkloadSpec::try_by_name(w)
             .map(|s| s.target_mpki)
             .unwrap_or(f64::NAN);
         let _ = writeln!(
@@ -549,18 +640,78 @@ pub fn calibrate(scale: Scale) -> String {
 /// deviations documented in DESIGN.md §7): the write-cancellation
 /// completion threshold and retry cap, the Eager Mellow queue depth,
 /// and the cancelled-write wear-charging policy.
-pub fn ablate(scale: Scale) -> String {
+pub fn ablate(scale: Scale, settings: &SweepSettings) -> String {
     use mellow_nvm::CancelWear;
-    let mut s = String::from("\n=== Ablation: reproduction design knobs (libquantum, BE-Mellow+SC) ===\n");
+    let base = || Cell::new("libquantum", WritePolicy::be_mellow_sc());
+    let variants: Vec<(&str, Cell)> = vec![
+        ("default (thr 0.75, 4 cancels)", base()),
+        (
+            "always cancel (thr 1.0, unbounded)",
+            base().with_edit(|c| {
+                c.mem.cancel_threshold = 1.0;
+                c.mem.max_cancels = u32::MAX;
+            }),
+        ),
+        (
+            "never cancel (thr 0.0)",
+            base().with_edit(|c| c.mem.cancel_threshold = 0.0),
+        ),
+        (
+            "thr 0.5",
+            base().with_edit(|c| c.mem.cancel_threshold = 0.5),
+        ),
+        (
+            "single retry (max_cancels 1)",
+            base().with_edit(|c| c.mem.max_cancels = 1),
+        ),
+        (
+            "eager queue 4",
+            base().with_edit(|c| c.mem.eager_queue_cap = 4),
+        ),
+        (
+            "eager queue 64",
+            base().with_edit(|c| c.mem.eager_queue_cap = 64),
+        ),
+        (
+            "cancel wear: full",
+            base().with_edit(|c| c.cancel_wear = CancelWear::Full),
+        ),
+        (
+            "cancel wear: none",
+            base().with_edit(|c| c.cancel_wear = CancelWear::None),
+        ),
+        (
+            "Start-Gap psi 10",
+            base().with_edit(|c| c.mem.startgap_interval = 10),
+        ),
+        (
+            "+WP write pausing (extension)",
+            base().with_edit(|c| c.policy = c.policy.with_write_pausing()),
+        ),
+        (
+            "+WP, always yield (thr 1.0)",
+            base().with_edit(|c| {
+                c.policy = c.policy.with_write_pausing();
+                c.mem.cancel_threshold = 1.0;
+                c.mem.max_cancels = u32::MAX;
+            }),
+        ),
+    ];
+    let (labels, cells): (Vec<&str>, Vec<Cell>) = variants.into_iter().unzip();
+    let results = settings
+        .apply(Sweep::new(scale).cells(cells))
+        .run()
+        .expect("libquantum is a Table IV name");
+
+    let mut s =
+        String::from("\n=== Ablation: reproduction design knobs (libquantum, BE-Mellow+SC) ===\n");
     let _ = writeln!(
         s,
         "{:<34} {:>7} {:>10} {:>11} {:>10}",
         "variant", "IPC", "life(yr)", "cancelled", "slow-frac"
     );
-    let mut run = |label: &str, f: Box<dyn Fn(&mut mellow_sim::SystemConfig)>| {
-        let m = experiment_for("libquantum", WritePolicy::be_mellow_sc(), scale)
-            .configure(|c| f(c))
-            .run();
+    for (label, r) in labels.iter().zip(&results) {
+        let m = &r.metrics;
         let _ = writeln!(
             s,
             "{label:<34} {:>7.3} {:>10.2} {:>11} {:>9.1}%",
@@ -569,58 +720,6 @@ pub fn ablate(scale: Scale) -> String {
             m.ctrl.writes_cancelled,
             m.slow_write_fraction * 100.0
         );
-    };
-    run("default (thr 0.75, 4 cancels)", Box::new(|_| {}));
-    run(
-        "always cancel (thr 1.0, unbounded)",
-        Box::new(|c| {
-            c.mem.cancel_threshold = 1.0;
-            c.mem.max_cancels = u32::MAX;
-        }),
-    );
-    run(
-        "never cancel (thr 0.0)",
-        Box::new(|c| c.mem.cancel_threshold = 0.0),
-    );
-    run(
-        "thr 0.5",
-        Box::new(|c| c.mem.cancel_threshold = 0.5),
-    );
-    run(
-        "single retry (max_cancels 1)",
-        Box::new(|c| c.mem.max_cancels = 1),
-    );
-    run(
-        "eager queue 4",
-        Box::new(|c| c.mem.eager_queue_cap = 4),
-    );
-    run(
-        "eager queue 64",
-        Box::new(|c| c.mem.eager_queue_cap = 64),
-    );
-    run(
-        "cancel wear: full",
-        Box::new(|c| c.cancel_wear = CancelWear::Full),
-    );
-    run(
-        "cancel wear: none",
-        Box::new(|c| c.cancel_wear = CancelWear::None),
-    );
-    run(
-        "Start-Gap psi 10",
-        Box::new(|c| c.mem.startgap_interval = 10),
-    );
-    run(
-        "+WP write pausing (extension)",
-        Box::new(|c| c.policy = c.policy.with_write_pausing()),
-    );
-    run(
-        "+WP, always yield (thr 1.0)",
-        Box::new(|c| {
-            c.policy = c.policy.with_write_pausing();
-            c.mem.cancel_threshold = 1.0;
-            c.mem.max_cancels = u32::MAX;
-        }),
-    );
+    }
     s
 }

@@ -1,8 +1,8 @@
-//! Scale-aware experiment construction and matrix running.
+//! Scale-aware experiment construction.
 
 use mellow_core::WritePolicy;
 use mellow_sim::{Experiment, Metrics};
-use mellow_workloads::WorkloadSpec;
+use mellow_workloads::{UnknownWorkload, WorkloadSpec};
 
 /// How much simulation to spend per `(workload, policy)` run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,22 +51,33 @@ impl Scale {
 }
 
 /// Builds the standard paper-configuration experiment for `(workload,
-/// policy)` at `scale`, with MPKI-aware warm-up.
-///
-/// # Panics
-///
-/// Panics if `workload` is not a Table IV preset.
-pub fn experiment_for(workload: &str, policy: WritePolicy, scale: Scale) -> Experiment {
-    let spec = WorkloadSpec::by_name(workload)
-        .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
-    Experiment::with_spec(spec, policy)
+/// policy)` at `scale`, with MPKI-aware warm-up, or returns an
+/// [`UnknownWorkload`] error listing the valid Table IV names.
+pub fn try_experiment_for(
+    workload: &str,
+    policy: WritePolicy,
+    scale: Scale,
+) -> Result<Experiment, UnknownWorkload> {
+    let spec = WorkloadSpec::try_by_name(workload)?;
+    Ok(Experiment::with_spec(spec, policy)
         .warmup(scale.min_warmup)
         .warmup_llc_fills(scale.llc_fills)
         .instructions(scale.measure)
         .configure(|c| {
             c.sample_period = scale.sample_period;
             c.mem.sample_period = scale.sample_period;
-        })
+        }))
+}
+
+/// Builds the standard paper-configuration experiment for `(workload,
+/// policy)` at `scale`.
+///
+/// # Panics
+///
+/// Panics if `workload` is not a Table IV preset.
+#[deprecated(note = "use `try_experiment_for`, which reports the valid workload names")]
+pub fn experiment_for(workload: &str, policy: WritePolicy, scale: Scale) -> Experiment {
+    try_experiment_for(workload, policy, scale).unwrap_or_else(|e| panic!("unknown workload: {e}"))
 }
 
 /// Identifies one cell of a run matrix.
@@ -82,29 +93,30 @@ pub struct MatrixKey {
 /// progress on stderr.
 ///
 /// Results are returned in workload-major order.
+///
+/// # Panics
+///
+/// Panics if any workload is not a Table IV preset.
+#[deprecated(
+    note = "use `Sweep`, which is parallel, cached/resumable, and reports errors instead of \
+            panicking"
+)]
 pub fn run_matrix(
     workloads: &[&str],
     policies: &[WritePolicy],
     scale: Scale,
 ) -> Vec<(MatrixKey, Metrics)> {
-    let total = workloads.len() * policies.len();
-    let mut out = Vec::with_capacity(total);
-    let mut done = 0usize;
-    for &w in workloads {
-        for &p in policies {
-            let m = experiment_for(w, p, scale).run();
-            done += 1;
-            eprintln!("[{done}/{total}] {}", m.summary());
-            out.push((
-                MatrixKey {
-                    workload: w.to_owned(),
-                    policy: p,
-                },
-                m,
-            ));
-        }
-    }
-    out
+    let cells = workloads.iter().flat_map(|&w| {
+        policies
+            .iter()
+            .map(move |&p| crate::Cell::new(w, p))
+            .collect::<Vec<_>>()
+    });
+    let results = crate::Sweep::new(scale)
+        .cells(cells)
+        .run()
+        .unwrap_or_else(|e| panic!("unknown workload: {e}"));
+    crate::into_matrix(results)
 }
 
 #[cfg(test)]
@@ -124,14 +136,22 @@ mod tests {
 
     #[test]
     fn experiment_builder_wires_policy() {
-        let e = experiment_for("stream", WritePolicy::be_mellow_sc(), Scale::quick());
+        let e = try_experiment_for("stream", WritePolicy::be_mellow_sc(), Scale::quick()).unwrap();
         assert_eq!(e.config().policy, WritePolicy::be_mellow_sc());
         assert_eq!(e.workload().name, "stream");
     }
 
     #[test]
+    fn unknown_workload_lists_presets() {
+        let err = try_experiment_for("nope", WritePolicy::norm(), Scale::quick()).unwrap_err();
+        assert_eq!(err.requested, "nope");
+        assert!(err.to_string().contains("lbm"));
+    }
+
+    #[test]
     #[should_panic(expected = "unknown workload")]
-    fn unknown_workload_panics() {
+    #[allow(deprecated)]
+    fn unknown_workload_panics_in_deprecated_builder() {
         let _ = experiment_for("nope", WritePolicy::norm(), Scale::quick());
     }
 }

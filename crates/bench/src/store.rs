@@ -1,0 +1,311 @@
+//! Durable result caching for sweeps.
+//!
+//! A [`ResultStore`] is an append-only JSON-lines file mapping a
+//! [`CellKey`] — a content hash of everything that determines a cell's
+//! outcome — to its serialized [`Metrics`] row. Sweeps consult the
+//! store before simulating, so re-running `figures` over a warm store
+//! replays instantly, and a sweep killed partway resumes from the cells
+//! it already finished: every completed cell is flushed to disk the
+//! moment its worker reports it.
+//!
+//! The key hashes the fully-built experiment (workload spec, complete
+//! `SystemConfig` including policy and seed, warm-up and measured
+//! instruction counts) plus the crate version, so any change to a
+//! config knob, a spec parameter, or the simulator itself produces a
+//! distinct key and stale rows are simply never looked up again.
+
+use mellow_engine::json::Json;
+use mellow_sim::{Experiment, Metrics};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// A content hash identifying one sweep cell's full configuration.
+///
+/// Two experiments collide only if their workload spec, system
+/// configuration (policy, seed, every memory/cache knob), instruction
+/// windows, and crate version all match — exactly the conditions under
+/// which the simulator is deterministic, so a stored row is a faithful
+/// replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellKey(u64);
+
+impl CellKey {
+    /// Computes the key for a fully-built experiment.
+    pub fn for_experiment(e: &Experiment) -> CellKey {
+        let mut h = Fnv::new();
+        h.write(b"mellow-sweep-v1");
+        h.write(env!("CARGO_PKG_VERSION").as_bytes());
+        h.write(format!("{:?}", e.workload()).as_bytes());
+        h.write(format!("{:?}", e.config()).as_bytes());
+        h.write(&e.warmup_instructions().to_le_bytes());
+        h.write(&e.measure_instructions().to_le_bytes());
+        CellKey(h.finish())
+    }
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and plenty for cache keys
+/// (a sweep holds at most a few thousand cells).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Delimit fields so ("ab","c") and ("a","bc") hash differently.
+        self.0 ^= 0xff;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// An I/O or format failure on the result store.
+#[derive(Debug)]
+pub struct StoreError {
+    /// The store file involved.
+    pub path: PathBuf,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "result store {}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A JSON-lines file of completed sweep cells, keyed by [`CellKey`].
+///
+/// Each line is `{"key": "<16 hex digits>", "metrics": {…}}`. Lines
+/// that fail to parse — typically a final line truncated when a sweep
+/// was killed mid-write — are skipped on load, so an interrupted sweep
+/// resumes from its last complete cell.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mellow_bench::{CellKey, ResultStore};
+/// # let experiment = mellow_bench::try_experiment_for(
+/// #     "lbm", mellow_core::WritePolicy::norm(), mellow_bench::Scale::quick()).unwrap();
+///
+/// let mut store = ResultStore::open("target/sweep-cache.jsonl").unwrap();
+/// let key = CellKey::for_experiment(&experiment);
+/// let metrics = match store.get(&key) {
+///     Some(cached) => cached.clone(),
+///     None => {
+///         let m = experiment.run();
+///         store.insert(&key, &m).unwrap();
+///         m
+///     }
+/// };
+/// ```
+pub struct ResultStore {
+    path: PathBuf,
+    file: File,
+    rows: HashMap<u64, Metrics>,
+    skipped_lines: usize,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed, including parent directories) the
+    /// store at `path` and loads every parseable line.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<ResultStore, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let fail = |message: String| StoreError {
+            path: path.clone(),
+            message,
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| fail(format!("creating parent directory: {e}")))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)
+            .map_err(|e| fail(format!("opening: {e}")))?;
+        let mut rows = HashMap::new();
+        let mut skipped_lines = 0;
+        let reader = BufReader::new(file.try_clone().map_err(|e| fail(e.to_string()))?);
+        for line in reader.lines() {
+            let line = line.map_err(|e| fail(format!("reading: {e}")))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Self::parse_line(&line) {
+                Some((key, metrics)) => {
+                    rows.insert(key, metrics);
+                }
+                // A malformed line is almost always the tail of a killed
+                // sweep; drop it and let the cell re-run.
+                None => skipped_lines += 1,
+            }
+        }
+        Ok(ResultStore {
+            path,
+            file,
+            rows,
+            skipped_lines,
+        })
+    }
+
+    fn parse_line(line: &str) -> Option<(u64, Metrics)> {
+        let v = Json::parse(line).ok()?;
+        let key = u64::from_str_radix(v.get("key")?.as_str()?, 16).ok()?;
+        let metrics = Metrics::from_json(v.get("metrics")?)?;
+        Some((key, metrics))
+    }
+
+    /// Returns the cached row for `key`, if any.
+    pub fn get(&self, key: &CellKey) -> Option<&Metrics> {
+        self.rows.get(&key.0)
+    }
+
+    /// Appends a completed row and flushes it to disk immediately, so
+    /// the cell survives the process being killed.
+    pub fn insert(&mut self, key: &CellKey, metrics: &Metrics) -> Result<(), StoreError> {
+        let line = format!(
+            "{{\"key\": \"{key}\", \"metrics\": {}}}\n",
+            metrics.to_json()
+        );
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| StoreError {
+                path: self.path.clone(),
+                message: format!("appending: {e}"),
+            })?;
+        self.rows.insert(key.0, metrics.clone());
+        Ok(())
+    }
+
+    /// Number of cached rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Lines that failed to parse on load (interrupted-write debris).
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped_lines
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("path", &self.path)
+            .field("rows", &self.rows.len())
+            .field("skipped_lines", &self.skipped_lines)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{try_experiment_for, Scale};
+    use mellow_core::WritePolicy;
+
+    fn temp_store(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mellow-store-{}-{name}.jsonl", std::process::id()))
+    }
+
+    fn tiny_metrics(workload: &str) -> Metrics {
+        try_experiment_for(workload, WritePolicy::norm(), Scale::quick())
+            .unwrap()
+            .warmup(2_000)
+            .instructions(5_000)
+            .run()
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let path = temp_store("round-trip");
+        let _ = std::fs::remove_file(&path);
+        let e = try_experiment_for("lbm", WritePolicy::norm(), Scale::quick()).unwrap();
+        let key = CellKey::for_experiment(&e);
+        let m = tiny_metrics("lbm");
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            assert!(store.is_empty());
+            store.insert(&key, &m).unwrap();
+            assert_eq!(store.len(), 1);
+        }
+        let store = ResultStore::open(&path).unwrap();
+        let back = store.get(&key).expect("row persisted");
+        assert_eq!(back.ipc.to_bits(), m.ipc.to_bits());
+        assert_eq!(back.ctrl, m.ctrl);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_skipped() {
+        let path = temp_store("truncated");
+        let _ = std::fs::remove_file(&path);
+        let e = try_experiment_for("gups", WritePolicy::norm(), Scale::quick()).unwrap();
+        let key = CellKey::for_experiment(&e);
+        let m = tiny_metrics("gups");
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.insert(&key, &m).unwrap();
+        }
+        // Simulate a sweep killed mid-append.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"key\": \"00ff, \"metrics\": {\"work")
+            .unwrap();
+        drop(f);
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.skipped_lines(), 1);
+        assert!(store.get(&key).is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn key_tracks_config_and_windows() {
+        let base = try_experiment_for("lbm", WritePolicy::norm(), Scale::quick()).unwrap();
+        let k = CellKey::for_experiment(&base);
+        assert_eq!(k, CellKey::for_experiment(&base.clone()));
+        let policy = try_experiment_for("lbm", WritePolicy::slow(), Scale::quick()).unwrap();
+        assert_ne!(k, CellKey::for_experiment(&policy));
+        assert_ne!(k, CellKey::for_experiment(&base.clone().seed(7)));
+        assert_ne!(k, CellKey::for_experiment(&base.clone().instructions(1)));
+        assert_ne!(k, CellKey::for_experiment(&base.clone().warmup(1)));
+        assert_ne!(
+            k,
+            CellKey::for_experiment(&base.clone().configure(|c| c.mem.write_queue_cap += 1))
+        );
+    }
+}

@@ -3,11 +3,10 @@
 use crate::{AccessId, LruSet, MshrFile};
 use mellow_core::UtilityMonitor;
 use mellow_engine::{DetRng, Duration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Static configuration of one cache level.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Human-readable level name (used in reports).
     pub name: String,
@@ -97,7 +96,7 @@ impl CacheConfig {
 }
 
 /// Counters exposed by a cache level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand (read/fetch/store) accesses that hit.
     pub demand_hits: u64,
@@ -123,6 +122,46 @@ pub struct CacheStats {
     pub mshr_stall_ticks: u64,
     /// Requests rejected at the input queue (backpressure).
     pub input_rejects: u64,
+}
+
+impl mellow_engine::json::JsonField for CacheStats {
+    fn to_json(&self) -> mellow_engine::json::Json {
+        mellow_engine::json_fields_to!(
+            self,
+            demand_hits,
+            demand_misses,
+            fetches_down,
+            mshr_merges,
+            writebacks_in,
+            writebacks_out,
+            fills,
+            eager_issued,
+            eager_wasted,
+            eager_saved_writebacks,
+            mshr_stall_ticks,
+            input_rejects,
+        )
+    }
+
+    fn from_json(v: &mellow_engine::json::Json) -> Option<CacheStats> {
+        mellow_engine::json_fields_from!(
+            v,
+            CacheStats {
+                demand_hits,
+                demand_misses,
+                fetches_down,
+                mshr_merges,
+                writebacks_in,
+                writebacks_out,
+                fills,
+                eager_issued,
+                eager_wasted,
+                eager_saved_writebacks,
+                mshr_stall_ticks,
+                input_rejects,
+            }
+        )
+    }
 }
 
 impl CacheStats {
@@ -732,7 +771,11 @@ mod tests {
             }
             c.pop_completion();
         }
-        assert_eq!(c.sample_utility(), Some(0), "all-miss => everything useless");
+        assert_eq!(
+            c.sample_utility(),
+            Some(0),
+            "all-miss => everything useless"
+        );
 
         let mut rng = DetRng::seed_from(1);
         let mut found = None;

@@ -26,11 +26,9 @@ pub use cache::{Cache, CacheConfig, CacheStats};
 pub use lru::{LineState, LruSet, Victim};
 pub use mshr::{MshrEntry, MshrFile};
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a demand access at the top of the hierarchy (assigned by
 /// the core; echoed back on completion).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AccessId(pub u64);
 
 /// Returns the line index of a byte address for `line_bytes`-sized lines.

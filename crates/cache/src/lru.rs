@@ -1,9 +1,7 @@
 //! A true-LRU cache set.
 
-use serde::{Deserialize, Serialize};
-
 /// One line's state within a set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LineState {
     /// The line's tag (full line address divided by the set count).
     pub tag: u64,
@@ -15,7 +13,7 @@ pub struct LineState {
 }
 
 /// A victim evicted from a set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Victim {
     /// The evicted line's tag.
     pub tag: u64,
@@ -41,7 +39,7 @@ pub struct Victim {
 /// let victim = set.insert(12).unwrap();
 /// assert_eq!(victim.tag, 11);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LruSet {
     /// Lines ordered MRU → LRU.
     lines: Vec<LineState>,

@@ -1,11 +1,10 @@
 //! The per-bank write-issue decision tree of Figure 9.
 
 use crate::{WritePolicy, WriteSpeed};
-use serde::{Deserialize, Serialize};
 
 /// A snapshot of one bank's queued work, as seen by the controller when
 /// it considers issuing a write to that bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BankQueueView {
     /// Read-queue entries targeting this bank.
     pub reads_waiting: usize,
@@ -19,7 +18,7 @@ pub struct BankQueueView {
 }
 
 /// The outcome of the Figure 9 decision tree for one bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WriteDecision {
     /// Issue the oldest demand write for this bank at the given speed.
     Demand(WriteSpeed),

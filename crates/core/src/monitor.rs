@@ -1,8 +1,6 @@
 //! The LLC utility monitor identifying *useless* LRU stack positions
 //! (paper §IV-B1, Fig. 7).
 
-use serde::{Deserialize, Serialize};
-
 /// Profiles LLC hits by LRU stack position to find positions whose lines
 /// are unlikely to be reused — the candidates for Eager Mellow Writes.
 ///
@@ -35,7 +33,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(m.is_useless(5));
 /// assert!(!m.is_useless(0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UtilityMonitor {
     hit_counters: Vec<u64>,
     miss_counter: u64,

@@ -1,6 +1,5 @@
 //! The write-policy configuration space of Table III.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The default slow-write latency factor (the paper uses 3.0× everywhere
@@ -8,7 +7,7 @@ use std::fmt;
 pub const DEFAULT_SLOW_FACTOR: f64 = 3.0;
 
 /// The speed at which a write pulse is driven.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WriteSpeed {
     /// Full-power write at the baseline latency (1×).
     Normal,
@@ -27,7 +26,7 @@ impl fmt::Display for WriteSpeed {
 }
 
 /// The base write policies of Table III.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BasePolicy {
     /// Just normal writes.
     Norm,
@@ -108,7 +107,7 @@ impl BasePolicy {
 /// assert!(p.base.uses_eager());
 /// assert!(p.cancel_slow && !p.cancel_normal);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WritePolicy {
     /// The base scheme.
     pub base: BasePolicy,
@@ -368,7 +367,9 @@ mod tests {
         let q = WritePolicy::be_mellow_sc();
         assert_eq!(q.slow_factor_for_occupancy(0.9), 3.0);
         // Grading never exceeds the configured slow factor.
-        let r = WritePolicy::slow().with_graded_latency().with_slow_factor(2.0);
+        let r = WritePolicy::slow()
+            .with_graded_latency()
+            .with_slow_factor(2.0);
         assert_eq!(r.slow_factor_for_occupancy(0.0), 2.0);
     }
 

@@ -1,7 +1,6 @@
 //! The Wear Quota lifetime guarantee (paper §IV-C).
 
 use mellow_engine::Duration;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the Wear Quota scheme.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// `Ratio_quota` (0.9) conservatively absorbs Start-Gap's leveling
 /// overhead.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WearQuotaConfig {
     /// Target minimum lifetime in seconds (paper: 8 years).
     pub target_lifetime_secs: f64,
@@ -46,8 +45,8 @@ impl WearQuotaConfig {
     /// Returns `WearBound_bank`: the per-period wear budget of one bank,
     /// in normal-write equivalents.
     pub fn wear_bound_per_period(&self) -> f64 {
-        let bound_blk = self.endurance_per_block * self.sample_period.as_secs_f64()
-            / self.target_lifetime_secs;
+        let bound_blk =
+            self.endurance_per_block * self.sample_period.as_secs_f64() / self.target_lifetime_secs;
         self.blocks_per_bank as f64 * bound_blk * self.ratio_quota
     }
 
@@ -94,7 +93,7 @@ impl WearQuotaConfig {
 /// assert!(!quota.exceeded(0));
 /// assert!(quota.exceeded(1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WearQuota {
     config: WearQuotaConfig,
     /// Periods completed so far (`Num_previous_periods`).

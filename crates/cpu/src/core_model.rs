@@ -1,15 +1,14 @@
 //! The ROB/issue-width-limited core model.
 
 use crate::{TraceRecord, TraceSource};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A unique identifier for an in-flight memory access issued by the core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ReqId(pub u64);
 
 /// A memory access the core wants the hierarchy to perform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemAccess {
     /// Identifier echoed back via [`Core::complete`].
     pub id: ReqId,
@@ -20,7 +19,7 @@ pub struct MemAccess {
 }
 
 /// Core configuration (Table I of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Instructions dispatched and retired per cycle (paper: 8).
     pub issue_width: u32,
@@ -42,7 +41,7 @@ impl Default for CoreConfig {
 }
 
 /// Counters exposed by the core.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Instructions retired.
     pub retired_instructions: u64,
@@ -118,7 +117,10 @@ impl Core {
     pub fn new(cfg: CoreConfig, trace: Box<dyn TraceSource>) -> Self {
         assert!(cfg.issue_width > 0, "issue width must be non-zero");
         assert!(cfg.rob_entries > 0, "ROB size must be non-zero");
-        assert!(cfg.mem_issue_width > 0, "memory issue width must be non-zero");
+        assert!(
+            cfg.mem_issue_width > 0,
+            "memory issue width must be non-zero"
+        );
         Core {
             cfg,
             trace,
@@ -280,10 +282,7 @@ impl Core {
     /// already retired — are ignored.
     pub fn complete(&mut self, id: ReqId) {
         for entry in self.rob.iter_mut() {
-            if let Entry::Mem {
-                id: eid, state, ..
-            } = entry
-            {
+            if let Entry::Mem { id: eid, state, .. } = entry {
                 if *eid == id {
                     *state = MemState::Done;
                     return;
@@ -527,8 +526,14 @@ mod tests {
     #[test]
     fn empty_records_do_not_hang_dispatch() {
         let trace = Cycle::new(vec![
-            TraceRecord { nonmem: 0, op: None },
-            TraceRecord { nonmem: 4, op: None },
+            TraceRecord {
+                nonmem: 0,
+                op: None,
+            },
+            TraceRecord {
+                nonmem: 4,
+                op: None,
+            },
         ]);
         let mut core = Core::new(CoreConfig::default(), Box::new(trace));
         for _ in 0..100 {

@@ -1,9 +1,7 @@
 //! The instruction-trace abstraction feeding the core.
 
-use serde::{Deserialize, Serialize};
-
 /// A single memory operation in the trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemOp {
     /// Byte address accessed (the hierarchy aligns it to its line size).
     pub addr: u64,
@@ -46,7 +44,7 @@ impl MemOp {
 /// optional memory operation.
 ///
 /// A record represents `nonmem + (op.is_some() as u32)` instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Number of non-memory instructions preceding `op`.
     pub nonmem: u32,

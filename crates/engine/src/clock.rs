@@ -1,7 +1,6 @@
 //! Fixed-frequency clock domains.
 
 use crate::{Duration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A fixed-frequency clock domain.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(mem.cycles_to_duration(60), Duration::from_ns(150));
 /// assert_eq!(mem.cycle_at(SimTime::from_ns(150)), 60);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Clock {
     period_ps: u64,
 }

@@ -14,6 +14,8 @@
 //!   every figure of the paper is ultimately computed.
 //! - [`DetRng`] — a small deterministic RNG so that identical seeds always
 //!   reproduce identical simulations.
+//! - [`json`] — a dependency-free JSON kernel used to persist experiment
+//!   results as line-oriented artifacts.
 //!
 //! # Examples
 //!
@@ -27,6 +29,7 @@
 //! ```
 
 mod clock;
+pub mod json;
 mod queue;
 mod rng;
 pub mod stats;

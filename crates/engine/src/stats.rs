@@ -4,10 +4,9 @@
 //! event counts ([`Counter`]), time-in-state accumulations ([`BusyTracker`],
 //! e.g. bank utilization and write-drain time), and distributions
 //! ([`Histogram`], e.g. read latency). All are plain data that serialize
-//! with serde so experiment results can be dumped as JSON/CSV rows.
+//! as plain data so experiment results can be dumped as JSON rows.
 
 use crate::{Duration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A monotonically increasing event counter.
@@ -22,7 +21,7 @@ use std::fmt;
 /// writes.inc();
 /// assert_eq!(writes.get(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -79,7 +78,7 @@ impl fmt::Display for Counter {
 /// bank.set_idle(SimTime::from_ns(25));
 /// assert_eq!(bank.busy_time(SimTime::from_ns(100)), Duration::from_ns(15));
 /// ```
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BusyTracker {
     accumulated: Duration,
     busy_since: Option<SimTime>,
@@ -141,7 +140,7 @@ impl BusyTracker {
 /// assert_eq!(h.count(), 2);
 /// assert_eq!(h.mean(), 200.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -193,6 +192,24 @@ impl Histogram {
     /// Returns the per-bucket counts, bucket `i` covering `[2^i, 2^(i+1))`.
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
+    }
+}
+
+impl crate::json::JsonField for Histogram {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json_fields_to!(self, buckets, count, sum, max)
+    }
+
+    fn from_json(v: &crate::json::Json) -> Option<Histogram> {
+        crate::json_fields_from!(
+            v,
+            Histogram {
+                buckets,
+                count,
+                sum,
+                max
+            }
+        )
     }
 }
 

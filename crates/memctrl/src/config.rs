@@ -1,10 +1,9 @@
 //! Memory-system configuration (Table II of the paper).
 
 use mellow_engine::{Clock, Duration};
-use serde::{Deserialize, Serialize};
 
 /// Geometry and timing of the resistive main memory (Table II).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemConfig {
     /// Memory channel clock (400 MHz).
     pub clock: Clock,
@@ -183,7 +182,7 @@ impl Default for MemConfig {
 }
 
 /// Where a line lives: `(bank, row, logical block within the bank)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LineMapping {
     /// Bank index.
     pub bank: usize,

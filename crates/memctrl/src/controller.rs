@@ -9,13 +9,14 @@ use mellow_core::{
 use mellow_engine::stats::{BusyTracker, Histogram};
 use mellow_engine::{Duration, SimTime, TimerQueue};
 use mellow_nvm::energy::EnergyAccount;
-use mellow_nvm::{CancelWear, EnduranceModel, LifetimeModel, LifetimeProjection, StartGap, WearLedger};
-use serde::{Deserialize, Serialize};
+use mellow_nvm::{
+    CancelWear, EnduranceModel, LifetimeModel, LifetimeProjection, StartGap, WearLedger,
+};
 use std::collections::VecDeque;
 
 /// Counters exposed by the controller (the raw material of Figs. 2–3 and
 /// 10–18).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CtrlStats {
     /// Reads accepted into the read queue.
     pub reads_accepted: u64,
@@ -52,6 +53,56 @@ pub struct CtrlStats {
     pub write_drains: u64,
     /// Read latency from enqueue to data return, in nanoseconds.
     pub read_latency_ns: Histogram,
+}
+
+impl mellow_engine::json::JsonField for CtrlStats {
+    fn to_json(&self) -> mellow_engine::json::Json {
+        mellow_engine::json_fields_to!(
+            self,
+            reads_accepted,
+            reads_forwarded,
+            read_rejects,
+            demand_writes_accepted,
+            write_rejects,
+            eager_writes_accepted,
+            rb_hit_reads,
+            rb_miss_reads,
+            writes_issued_normal,
+            writes_issued_slow,
+            writes_completed_normal,
+            writes_completed_slow,
+            eager_completed,
+            writes_cancelled,
+            writes_paused,
+            write_drains,
+            read_latency_ns,
+        )
+    }
+
+    fn from_json(v: &mellow_engine::json::Json) -> Option<CtrlStats> {
+        mellow_engine::json_fields_from!(
+            v,
+            CtrlStats {
+                reads_accepted,
+                reads_forwarded,
+                read_rejects,
+                demand_writes_accepted,
+                write_rejects,
+                eager_writes_accepted,
+                rb_hit_reads,
+                rb_miss_reads,
+                writes_issued_normal,
+                writes_issued_slow,
+                writes_completed_normal,
+                writes_completed_slow,
+                eager_completed,
+                writes_cancelled,
+                writes_paused,
+                write_drains,
+                read_latency_ns,
+            }
+        )
+    }
 }
 
 impl CtrlStats {
@@ -492,8 +543,7 @@ impl Controller {
                 (done.as_ps() as f64 / pulse.as_ps() as f64).clamp(0.0, 1.0)
             };
             // Fraction of the whole pulse driven (across pause resumes).
-            let progress =
-                1.0 - op.remaining_at_start + op.remaining_at_start * segment_fraction;
+            let progress = 1.0 - op.remaining_at_start + op.remaining_at_start * segment_fraction;
             // Threshold rule [18]: a nearly-finished pulse runs to
             // completion; a repeatedly-yielding write stops yielding.
             if progress >= self.cfg.cancel_threshold || op.cancels >= self.cfg.max_cancels {
@@ -663,7 +713,13 @@ impl Controller {
             pulse_start: end,
             end,
         });
-        self.completions.schedule(end, Completion { serial, bank: bank_idx });
+        self.completions.schedule(
+            end,
+            Completion {
+                serial,
+                bank: bank_idx,
+            },
+        );
         true
     }
 
@@ -678,9 +734,9 @@ impl Controller {
         let factor = match speed {
             WriteSpeed::Normal => 1.0,
             // +GR: grade the slowdown by write-queue pressure.
-            WriteSpeed::Slow => self
-                .policy
-                .slow_factor_for_occupancy(self.write_q.len() as f64 / self.cfg.write_queue_cap as f64),
+            WriteSpeed::Slow => self.policy.slow_factor_for_occupancy(
+                self.write_q.len() as f64 / self.cfg.write_queue_cap as f64,
+            ),
         };
         // A resumed (+WP) write only drives its outstanding fraction.
         let pulse = self.cfg.t_wp.scale(factor * req.remaining);
@@ -717,7 +773,13 @@ impl Controller {
             pulse_start,
             end,
         });
-        self.completions.schedule(end, Completion { serial, bank: bank_idx });
+        self.completions.schedule(
+            end,
+            Completion {
+                serial,
+                bank: bank_idx,
+            },
+        );
     }
 
     fn try_activate(&mut self, rank: usize, now: SimTime) -> bool {

@@ -172,10 +172,7 @@ mod tests {
         assert_eq!(c.stats().reads_forwarded, 1);
         run(&mut c, 3, 20);
         // Forwarded data returns without a bank read.
-        assert!(c
-            .stats()
-            .read_latency_ns
-            .count() > 0);
+        assert!(c.stats().read_latency_ns.count() > 0);
         assert_eq!(c.stats().rb_miss_reads + c.stats().rb_hit_reads, 0);
         assert!(c.pop_read_done().is_some());
     }

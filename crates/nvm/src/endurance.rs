@@ -1,7 +1,6 @@
 //! The write-latency/endurance analytic model (paper §II, Eq. 2).
 
 use mellow_engine::Duration;
-use serde::{Deserialize, Serialize};
 
 /// The exponent relating write-latency slowdown to endurance gain.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ExpoFactor::QUADRATIC.get(), 2.0);
 /// assert_eq!(ExpoFactor::SENSITIVITY_SWEEP.len(), 5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct ExpoFactor(f64);
 
 impl ExpoFactor {
@@ -101,7 +100,7 @@ impl std::fmt::Display for ExpoFactor {
 /// assert_eq!(m.endurance_at_factor(3.0).round(), 4.500e7);
 /// assert_eq!(m.write_latency(3.0), Duration::from_ns(450));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnduranceModel {
     base_write_latency: Duration,
     base_endurance: f64,
@@ -115,11 +114,7 @@ impl EnduranceModel {
     ///
     /// Panics if `base_endurance` is not strictly positive or
     /// `base_write_latency` is zero.
-    pub fn new(
-        base_write_latency: Duration,
-        base_endurance: f64,
-        expo_factor: ExpoFactor,
-    ) -> Self {
+    pub fn new(base_write_latency: Duration, base_endurance: f64, expo_factor: ExpoFactor) -> Self {
         assert!(
             base_endurance > 0.0,
             "baseline endurance must be positive, got {base_endurance}"

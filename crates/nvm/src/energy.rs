@@ -10,14 +10,12 @@
 //! and 1503 pJ per row-buffer fill — which lets this module regenerate the
 //! table exactly and extrapolate to arbitrary cells.
 
-use serde::{Deserialize, Serialize};
-
 /// Bits written per memory line write (64-byte cache line).
 pub const LINE_BITS: u64 = 512;
 
 /// The five cell designs of Table V, named by their normal set/reset
 /// energy per cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CellKind {
     /// 0.1 pJ per cell set/reset.
     A,
@@ -83,7 +81,7 @@ impl std::fmt::Display for CellKind {
 /// assert!((m.slow_write_pj() - 667.8).abs() < 0.05);
 /// assert!((m.slow_norm_ratio() - 1.66).abs() < 0.005);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Normal set/reset energy per cell, pJ.
     cell_energy_pj: f64,
@@ -193,7 +191,7 @@ impl Default for EnergyModel {
 /// let m = EnergyModel::fig16_default();
 /// assert!((acct.total_pj(&m) - (100.0 + 402.4)).abs() < 0.05);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyAccount {
     /// Row-buffer-hit reads.
     pub rb_hit_reads: u64,
@@ -207,6 +205,34 @@ pub struct EnergyAccount {
     pub cancelled_normal_equiv: f64,
     /// Fractional slow-write equivalents from cancelled slow attempts.
     pub cancelled_slow_equiv: f64,
+}
+
+impl mellow_engine::json::JsonField for EnergyAccount {
+    fn to_json(&self) -> mellow_engine::json::Json {
+        mellow_engine::json_fields_to!(
+            self,
+            rb_hit_reads,
+            buffer_reads,
+            normal_writes,
+            slow_writes,
+            cancelled_normal_equiv,
+            cancelled_slow_equiv,
+        )
+    }
+
+    fn from_json(v: &mellow_engine::json::Json) -> Option<EnergyAccount> {
+        mellow_engine::json_fields_from!(
+            v,
+            EnergyAccount {
+                rb_hit_reads,
+                buffer_reads,
+                normal_writes,
+                slow_writes,
+                cancelled_normal_equiv,
+                cancelled_slow_equiv,
+            }
+        )
+    }
 }
 
 impl EnergyAccount {

@@ -34,8 +34,8 @@
 //! assert!((model.wear_per_write(3.0) - 1.0 / 9.0).abs() < 1e-12);
 //! ```
 
-pub mod energy;
 mod endurance;
+pub mod energy;
 mod lifetime;
 mod startgap;
 mod wear;

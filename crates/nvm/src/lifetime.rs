@@ -2,7 +2,6 @@
 
 use crate::WearLedger;
 use mellow_engine::Duration;
-use serde::{Deserialize, Serialize};
 
 /// Seconds in a Julian year, the unit of the paper's lifetime figures.
 pub const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
@@ -43,7 +42,7 @@ pub const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
 /// let years = model.project(&ledger, Duration::from_us(1)).min_years;
 /// assert!((years - 0.9 * (1u64 << 20) as f64 * 5e6 * 1e-6 / SECONDS_PER_YEAR).abs() / years < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LifetimeModel {
     endurance_per_block: f64,
     blocks_per_bank: u64,
@@ -51,7 +50,7 @@ pub struct LifetimeModel {
 }
 
 /// A lifetime projection: per-bank years plus the binding minimum.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LifetimeProjection {
     /// Projected lifetime of each bank, in years. Unworn banks project
     /// `f64::INFINITY`.

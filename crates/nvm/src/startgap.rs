@@ -1,8 +1,6 @@
 //! Start-Gap wear leveling (Qureshi et al., MICRO'09), used by the paper
 //! at bank granularity.
 
-use serde::{Deserialize, Serialize};
-
 /// The Start-Gap wear-leveling remapper for one memory bank.
 ///
 /// Start-Gap provisions one spare line (the *gap*) on top of the `n`
@@ -32,7 +30,7 @@ use serde::{Deserialize, Serialize};
 /// }
 /// assert_ne!(sg.remap(3), before);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StartGap {
     /// Number of logical lines served (physical lines are `n + 1`).
     n: u64,

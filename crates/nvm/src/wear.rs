@@ -1,7 +1,6 @@
 //! Wear bookkeeping for a resistive memory system.
 
 use crate::EnduranceModel;
-use serde::{Deserialize, Serialize};
 
 /// How much wear a *cancelled* write attempt inflicts.
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 ///   to the fraction of the pulse completed before cancellation.
 /// - `Full` — pessimistic: every attempt counts as a whole write.
 /// - `None` — optimistic: aborted pulses are free.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CancelWear {
     /// Charge wear proportional to the completed fraction of the pulse.
     #[default]
@@ -49,7 +48,7 @@ impl CancelWear {
 /// Wear is measured in *normal-write equivalents*: a normal write adds 1.0
 /// and an `f`-slow write adds `1/f^Expo_Factor` (see
 /// [`EnduranceModel::wear_per_write`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BankWear {
     /// Total wear in normal-write equivalents (demand + cancelled +
     /// leveling overhead).
@@ -67,6 +66,36 @@ pub struct BankWear {
     /// Extra physical writes performed by wear-leveling (Start-Gap gap
     /// movement).
     pub leveling_writes: u64,
+}
+
+impl mellow_engine::json::JsonField for BankWear {
+    fn to_json(&self) -> mellow_engine::json::Json {
+        mellow_engine::json_fields_to!(
+            self,
+            total_wear,
+            normal_writes,
+            slow_writes,
+            cancelled_writes,
+            cancelled_normal_equiv,
+            cancelled_slow_equiv,
+            leveling_writes,
+        )
+    }
+
+    fn from_json(v: &mellow_engine::json::Json) -> Option<BankWear> {
+        mellow_engine::json_fields_from!(
+            v,
+            BankWear {
+                total_wear,
+                normal_writes,
+                slow_writes,
+                cancelled_writes,
+                cancelled_normal_equiv,
+                cancelled_slow_equiv,
+                leveling_writes,
+            }
+        )
+    }
 }
 
 impl BankWear {
@@ -107,7 +136,7 @@ impl BankWear {
 /// levels and the Wear Quota budgets); tests and validation runs on small
 /// memories additionally track every block to check the aggregate model
 /// against ground truth.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BlockWearTable {
     blocks_per_bank: u64,
     /// `wear[bank][block]`, in normal-write equivalents.
@@ -171,7 +200,7 @@ impl BlockWearTable {
 /// let wear = ledger.bank(3).total_wear;
 /// assert!((wear - (1.0 + 1.0 / 9.0)).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WearLedger {
     banks: Vec<BankWear>,
     per_block: Option<BlockWearTable>,

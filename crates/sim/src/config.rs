@@ -6,10 +6,9 @@ use mellow_cpu::CoreConfig;
 use mellow_engine::{Clock, Duration};
 use mellow_memctrl::MemConfig;
 use mellow_nvm::{CancelWear, EnduranceModel};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the complete simulated system (Tables I and II).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Core clock (2 GHz).
     pub core_clock: Clock,

@@ -2,7 +2,7 @@
 
 use crate::{Metrics, System, SystemConfig};
 use mellow_core::WritePolicy;
-use mellow_workloads::{SyntheticWorkload, WorkloadSpec};
+use mellow_workloads::{SyntheticWorkload, UnknownWorkload, WorkloadSpec};
 
 /// One `(workload, policy)` experiment following the paper's
 /// methodology: warm the caches, then measure a fixed instruction
@@ -19,7 +19,7 @@ use mellow_workloads::{SyntheticWorkload, WorkloadSpec};
 /// use mellow_core::WritePolicy;
 /// use mellow_sim::Experiment;
 ///
-/// let m = Experiment::new("lbm", WritePolicy::norm()).run();
+/// let m = Experiment::try_new("lbm", WritePolicy::norm()).unwrap().run();
 /// assert!(m.instructions >= 1_000_000);
 /// ```
 #[derive(Debug, Clone)]
@@ -31,16 +31,34 @@ pub struct Experiment {
 }
 
 impl Experiment {
+    /// Creates an experiment for a Table IV workload by name, or
+    /// returns an [`UnknownWorkload`] error listing the valid names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mellow_core::WritePolicy;
+    /// use mellow_sim::Experiment;
+    ///
+    /// assert!(Experiment::try_new("lbm", WritePolicy::norm()).is_ok());
+    /// assert!(Experiment::try_new("quake", WritePolicy::norm()).is_err());
+    /// ```
+    pub fn try_new(workload: &str, policy: WritePolicy) -> Result<Self, UnknownWorkload> {
+        Ok(Self::with_spec(
+            WorkloadSpec::try_by_name(workload)?,
+            policy,
+        ))
+    }
+
     /// Creates an experiment for a Table IV workload by name.
     ///
     /// # Panics
     ///
     /// Panics if `workload` is not one of the Table IV presets (see
     /// [`WorkloadSpec::by_name`]).
+    #[deprecated(note = "use `Experiment::try_new`, which reports the valid workload names")]
     pub fn new(workload: &str, policy: WritePolicy) -> Self {
-        let spec = WorkloadSpec::by_name(workload)
-            .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
-        Self::with_spec(spec, policy)
+        Self::try_new(workload, policy).unwrap_or_else(|e| panic!("unknown workload: {e}"))
     }
 
     /// Creates an experiment for a custom workload specification.
@@ -112,6 +130,11 @@ impl Experiment {
     /// Returns the configured warm-up instruction count.
     pub fn warmup_instructions(&self) -> u64 {
         self.warmup_instructions
+    }
+
+    /// Returns the configured measured instruction count.
+    pub fn measure_instructions(&self) -> u64 {
+        self.measure_instructions
     }
 
     /// Builds the system, runs warm-up then the measured window, and
@@ -232,7 +255,8 @@ mod tests {
 
     #[test]
     fn unknown_bank_counts_work() {
-        let m = Experiment::new("stream", WritePolicy::norm())
+        let m = Experiment::try_new("stream", WritePolicy::norm())
+            .unwrap()
             .warmup(5_000)
             .instructions(20_000)
             .configure(|c| c.mem = c.mem.clone().with_banks(4, 1))
@@ -242,8 +266,12 @@ mod tests {
 
     #[test]
     fn auto_warmup_scales_with_mpki() {
-        let hmmer = Experiment::new("hmmer", WritePolicy::norm()).warmup_llc_fills(1.2);
-        let mcf = Experiment::new("mcf", WritePolicy::norm()).warmup_llc_fills(1.2);
+        let hmmer = Experiment::try_new("hmmer", WritePolicy::norm())
+            .unwrap()
+            .warmup_llc_fills(1.2);
+        let mcf = Experiment::try_new("mcf", WritePolicy::norm())
+            .unwrap()
+            .warmup_llc_fills(1.2);
         // hmmer (MPKI 1.34) needs far longer than mcf (MPKI 56) to fill
         // the LLC.
         assert!(hmmer.warmup_instructions() > 10 * mcf.warmup_instructions());
@@ -251,7 +279,16 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "unknown workload")]
+    #[allow(deprecated)]
     fn unknown_workload_rejected() {
         let _ = Experiment::new("quake", WritePolicy::norm());
+    }
+
+    #[test]
+    fn try_new_reports_valid_names() {
+        let err = Experiment::try_new("quake", WritePolicy::norm()).unwrap_err();
+        assert_eq!(err.requested, "quake");
+        assert_eq!(err.valid.len(), 11);
+        assert!(err.to_string().contains("GemsFDTD"));
     }
 }

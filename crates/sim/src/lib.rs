@@ -14,7 +14,8 @@
 //! use mellow_core::WritePolicy;
 //! use mellow_sim::Experiment;
 //!
-//! let metrics = Experiment::new("stream", WritePolicy::be_mellow_sc())
+//! let metrics = Experiment::try_new("stream", WritePolicy::be_mellow_sc())
+//!     .unwrap()
 //!     .instructions(200_000)
 //!     .warmup(50_000)
 //!     .run();
@@ -28,5 +29,6 @@ mod system;
 
 pub use config::SystemConfig;
 pub use experiment::Experiment;
+pub use mellow_workloads::UnknownWorkload;
 pub use metrics::Metrics;
 pub use system::System;

@@ -6,11 +6,10 @@ use mellow_cpu::Core;
 use mellow_engine::{Duration, SimTime};
 use mellow_memctrl::{Controller, CtrlStats};
 use mellow_nvm::energy::{EnergyAccount, EnergyModel};
-use serde::{Deserialize, Serialize};
 
 /// Everything measured in one `(workload, policy)` run — the atom from
 /// which every table and figure of the paper's evaluation is assembled.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Metrics {
     /// Workload name.
     pub workload: String,
@@ -124,6 +123,18 @@ impl Metrics {
         self.ctrl.issued_to_banks()
     }
 
+    /// Serializes the full row to a JSON object (the `ResultStore`
+    /// line format).
+    pub fn to_json(&self) -> mellow_engine::json::Json {
+        mellow_engine::json::JsonField::to_json(self)
+    }
+
+    /// Rebuilds a row from [`Metrics::to_json`] output; `None` if any
+    /// field is missing or mistyped.
+    pub fn from_json(v: &mellow_engine::json::Json) -> Option<Metrics> {
+        mellow_engine::json::JsonField::from_json(v)
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -136,6 +147,56 @@ impl Metrics {
             self.avg_bank_utilization * 100.0,
             self.drain_fraction * 100.0,
             self.slow_write_fraction * 100.0,
+        )
+    }
+}
+
+impl mellow_engine::json::JsonField for Metrics {
+    fn to_json(&self) -> mellow_engine::json::Json {
+        mellow_engine::json_fields_to!(
+            self,
+            workload,
+            policy,
+            instructions,
+            core_cycles,
+            ipc,
+            elapsed_secs,
+            mpki,
+            lifetime_years,
+            per_bank_lifetime_years,
+            avg_bank_utilization,
+            drain_fraction,
+            total_wear,
+            bank_wear,
+            slow_write_fraction,
+            ctrl,
+            llc,
+            energy_ops,
+        )
+    }
+
+    fn from_json(v: &mellow_engine::json::Json) -> Option<Metrics> {
+        mellow_engine::json_fields_from!(
+            v,
+            Metrics {
+                workload,
+                policy,
+                instructions,
+                core_cycles,
+                ipc,
+                elapsed_secs,
+                mpki,
+                lifetime_years,
+                per_bank_lifetime_years,
+                avg_bank_utilization,
+                drain_fraction,
+                total_wear,
+                bank_wear,
+                slow_write_fraction,
+                ctrl,
+                llc,
+                energy_ops,
+            }
         )
     }
 }
@@ -169,6 +230,91 @@ mod tests {
         assert!(s.contains("stream"));
         assert!(s.contains("Norm"));
         assert!(s.contains("12.30"));
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut ctrl = CtrlStats {
+            reads_accepted: 123,
+            ..Default::default()
+        };
+        ctrl.read_latency_ns.record(75);
+        ctrl.read_latency_ns.record(90_000);
+        let llc = CacheStats {
+            demand_misses: 42,
+            ..Default::default()
+        };
+        let m = Metrics {
+            workload: "gups".into(),
+            policy: "BE-Mellow+SC".into(),
+            instructions: 1_000_000,
+            core_cycles: 2_000_000,
+            ipc: 0.5,
+            elapsed_secs: 1e-3,
+            mpki: 8.91,
+            lifetime_years: f64::INFINITY,
+            per_bank_lifetime_years: vec![4.25, f64::INFINITY],
+            avg_bank_utilization: 1.0 / 3.0,
+            drain_fraction: 0.01,
+            total_wear: 1234.5,
+            bank_wear: vec![
+                mellow_nvm::BankWear {
+                    total_wear: 10.5,
+                    normal_writes: 9,
+                    slow_writes: 3,
+                    cancelled_writes: 1,
+                    cancelled_normal_equiv: 0.25,
+                    cancelled_slow_equiv: 0.0,
+                    leveling_writes: 2,
+                },
+                mellow_nvm::BankWear::default(),
+            ],
+            slow_write_fraction: 0.25,
+            ctrl,
+            llc,
+            energy_ops: EnergyAccount::default(),
+        };
+        let text = m.to_json().to_string();
+        let back = Metrics::from_json(&mellow_engine::json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.workload, m.workload);
+        assert_eq!(back.policy, m.policy);
+        assert_eq!(back.ipc.to_bits(), m.ipc.to_bits());
+        assert_eq!(
+            back.avg_bank_utilization.to_bits(),
+            m.avg_bank_utilization.to_bits()
+        );
+        assert_eq!(back.lifetime_years, f64::INFINITY);
+        assert_eq!(back.per_bank_lifetime_years, m.per_bank_lifetime_years);
+        assert_eq!(back.bank_wear, m.bank_wear);
+        assert_eq!(back.ctrl, m.ctrl);
+        assert_eq!(back.llc, m.llc);
+        assert_eq!(back.energy_ops, m.energy_ops);
+    }
+
+    #[test]
+    fn json_missing_field_is_rejected() {
+        let m = Metrics {
+            workload: "w".into(),
+            policy: "p".into(),
+            instructions: 0,
+            core_cycles: 0,
+            ipc: 0.0,
+            elapsed_secs: 0.0,
+            mpki: 0.0,
+            lifetime_years: 0.0,
+            per_bank_lifetime_years: vec![],
+            avg_bank_utilization: 0.0,
+            drain_fraction: 0.0,
+            total_wear: 0.0,
+            bank_wear: vec![],
+            slow_write_fraction: 0.0,
+            ctrl: CtrlStats::default(),
+            llc: CacheStats::default(),
+            energy_ops: EnergyAccount::default(),
+        };
+        let text = m.to_json().to_string().replace("\"ipc\"", "\"ipq\"");
+        let v = mellow_engine::json::Json::parse(&text).unwrap();
+        assert!(Metrics::from_json(&v).is_none());
     }
 
     #[test]

@@ -68,12 +68,7 @@ impl System {
         if cfg.policy.base.uses_eager() {
             llc.enable_eager();
         }
-        let mut ctrl = Controller::new(
-            cfg.mem.clone(),
-            cfg.policy,
-            cfg.endurance,
-            cfg.cancel_wear,
-        );
+        let mut ctrl = Controller::new(cfg.mem.clone(), cfg.policy, cfg.endurance, cfg.cancel_wear);
         if cfg.track_block_wear {
             ctrl.enable_block_tracking();
         }
@@ -217,9 +212,7 @@ impl System {
 
         // Eager Mellow Writes: any idle-LLC cycle with room in the Eager
         // Mellow queue, probe one random set for a useless dirty line.
-        if self.cfg.policy.base.uses_eager()
-            && self.llc.input_idle()
-            && self.ctrl.eager_has_room()
+        if self.cfg.policy.base.uses_eager() && self.llc.input_idle() && self.ctrl.eager_has_room()
         {
             if let Some(line) = self.llc.eager_candidate(&mut self.eager_rng) {
                 self.ctrl.try_eager(line, now);

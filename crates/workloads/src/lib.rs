@@ -43,5 +43,5 @@ mod spec;
 mod synth;
 
 pub use recorded::RecordedTrace;
-pub use spec::{AccessPattern, WorkloadSpec};
+pub use spec::{AccessPattern, UnknownWorkload, WorkloadSpec};
 pub use synth::SyntheticWorkload;

@@ -198,7 +198,10 @@ mod tests {
                 nonmem: 7,
                 op: Some(MemOp::load(0xABC).dependent()),
             },
-            TraceRecord { nonmem: 3, op: None },
+            TraceRecord {
+                nonmem: 3,
+                op: None,
+            },
         ])
     }
 

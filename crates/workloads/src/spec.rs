@@ -1,10 +1,35 @@
 //! Workload specifications: the knobs a synthetic benchmark is built
 //! from, plus the Table IV presets.
 
-use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A workload name that matches no Table IV preset.
+///
+/// Carries the full list of valid names so callers (CLI parsing,
+/// sweep-cell validation) can print an actionable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The name that failed to resolve.
+    pub requested: String,
+    /// Every accepted preset name, in the paper's order.
+    pub valid: Vec<String>,
+}
+
+impl fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown workload {:?}; Table IV presets are: {}",
+            self.requested,
+            self.valid.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
 
 /// The spatial/temporal shape of a workload's memory references.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AccessPattern {
     /// `count` concurrent unit-stride streams of `stride`-byte steps,
     /// each walking its own segment of the working set (stencils, BLAS,
@@ -42,7 +67,7 @@ pub enum AccessPattern {
 /// determines MPKI. The presets are calibrated so the full system
 /// reproduces Table IV's MPKI within a reasonable band (asserted by the
 /// calibration test in `mellow-sim`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Workload name (Table IV row).
     pub name: String,
@@ -72,6 +97,26 @@ impl WorkloadSpec {
             .find(|w| w.name.eq_ignore_ascii_case(name))
     }
 
+    /// Returns the Table IV preset with the given name, or an
+    /// [`UnknownWorkload`] error listing every accepted name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mellow_workloads::WorkloadSpec;
+    ///
+    /// assert!(WorkloadSpec::try_by_name("GUPS").is_ok());
+    /// let err = WorkloadSpec::try_by_name("quake").unwrap_err();
+    /// assert_eq!(err.requested, "quake");
+    /// assert!(err.valid.iter().any(|n| n == "mcf"));
+    /// ```
+    pub fn try_by_name(name: &str) -> Result<WorkloadSpec, UnknownWorkload> {
+        Self::by_name(name).ok_or_else(|| UnknownWorkload {
+            requested: name.to_owned(),
+            valid: Self::names(),
+        })
+    }
+
     /// Returns all eleven Table IV presets, in the paper's order.
     pub fn all() -> Vec<WorkloadSpec> {
         const MIB: u64 = 1 << 20;
@@ -85,10 +130,7 @@ impl WorkloadSpec {
                 store_fraction: store,
                 dependent_fraction: 0.0,
                 working_set_bytes: ws_mib * MIB,
-                pattern: AccessPattern::Streams {
-                    count,
-                    stride: 64,
-                },
+                pattern: AccessPattern::Streams { count, stride: 64 },
             }
         };
         vec![
@@ -170,7 +212,10 @@ impl WorkloadSpec {
                 assert!(count > 0, "stream count must be non-zero");
                 assert!(stride > 0, "stride must be non-zero");
             }
-            AccessPattern::HotCold { hot_bytes, hot_prob } => {
+            AccessPattern::HotCold {
+                hot_bytes,
+                hot_prob,
+            } => {
                 assert!(hot_bytes >= 64, "hot region below one line");
                 assert!(
                     hot_bytes < self.working_set_bytes,

@@ -4,10 +4,14 @@
 //! ```text
 //! cargo run --release --example policy_explorer [workload]
 //! ```
+//!
+//! The sweep runs the policies in parallel on all available cores and
+//! caches finished cells in `target/sweep-cache.jsonl`, so re-exploring
+//! the same workload is instant.
 
+use mellow_writes::bench::{Cell, Scale, Sweep};
 use mellow_writes::core::WritePolicy;
-use mellow_writes::engine::Duration;
-use mellow_writes::sim::{Experiment, Metrics};
+use mellow_writes::sim::Metrics;
 
 fn main() {
     let workload = std::env::args().nth(1).unwrap_or_else(|| "GemsFDTD".into());
@@ -17,19 +21,21 @@ fn main() {
     policies.push(WritePolicy::slow());
     policies.push(WritePolicy::slow().with_cancel_slow());
 
-    let mut results: Vec<Metrics> = Vec::new();
-    for policy in policies {
-        let m = Experiment::new(&workload, policy)
-            .warmup(200_000)
-            .warmup_llc_fills(1.2)
-            .instructions(300_000)
-            .configure(|c| {
-                c.sample_period = Duration::from_us(40);
-                c.mem.sample_period = c.sample_period;
-            })
-            .run();
+    let scale = Scale {
+        measure: 300_000,
+        ..Scale::quick()
+    };
+    let results = Sweep::new(scale)
+        .cells(policies.iter().map(|&p| Cell::new(&workload, p)))
+        .store("target/sweep-cache.jsonl")
+        .run()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let results: Vec<Metrics> = results.into_iter().map(|r| r.metrics).collect();
+    for m in &results {
         println!("{}", m.summary());
-        results.push(m);
     }
 
     let base_ipc = results

@@ -16,7 +16,11 @@ fn main() {
     println!("Mellow Writes quickstart — workload: {workload}\n");
 
     let run = |policy: WritePolicy| {
-        Experiment::new(&workload, policy)
+        Experiment::try_new(&workload, policy)
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
             .warmup(200_000)
             .warmup_llc_fills(1.2)
             .instructions(400_000)
@@ -36,7 +40,10 @@ fn main() {
 
     let model = EnergyModel::fig16_default();
     println!("\nBE-Mellow+SC+WQ versus the Norm baseline:");
-    println!("  lifetime     {:>6.2}x", mellow.lifetime_years / norm.lifetime_years);
+    println!(
+        "  lifetime     {:>6.2}x",
+        mellow.lifetime_years / norm.lifetime_years
+    );
     println!("  performance  {:>6.2}x", mellow.ipc / norm.ipc);
     println!(
         "  memory energy {:>5.2}x",

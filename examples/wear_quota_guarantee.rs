@@ -15,7 +15,8 @@ fn main() {
     let period = Duration::from_us(40);
     println!("Wear Quota on lbm (write-heavy): period-by-period view\n");
 
-    let experiment = Experiment::new("lbm", WritePolicy::norm().with_wear_quota())
+    let experiment = Experiment::try_new("lbm", WritePolicy::norm().with_wear_quota())
+        .expect("lbm is a Table IV workload")
         .warmup(0)
         .configure(|c| {
             c.sample_period = period;

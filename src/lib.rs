@@ -32,6 +32,7 @@
 //! | [`workloads`] | `mellow-workloads` | Table IV synthetic benchmark generators |
 //! | [`sim`] | `mellow-sim` | the wired full system and experiment runner |
 //! | [`engine`] | `mellow-engine` | simulation time, queues, statistics |
+//! | [`bench`] | `mellow-bench` | parallel cached sweeps ([`bench::Sweep`]) and the figure generators |
 //!
 //! # Quickstart
 //!
@@ -40,7 +41,8 @@
 //! use mellow_writes::sim::Experiment;
 //!
 //! // Evaluate the paper's headline configuration on the stream kernel.
-//! let metrics = Experiment::new("stream", WritePolicy::be_mellow_sc().with_wear_quota())
+//! let metrics = Experiment::try_new("stream", WritePolicy::be_mellow_sc().with_wear_quota())
+//!     .expect("a Table IV workload name")
 //!     .instructions(1_000_000)
 //!     .run();
 //! println!("{}", metrics.summary());
@@ -50,6 +52,7 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! harness regenerating every table and figure of the paper.
 
+pub use mellow_bench as bench;
 pub use mellow_cache as cache;
 pub use mellow_core as core;
 pub use mellow_cpu as cpu;

@@ -104,8 +104,7 @@ fn no_write_is_lost_between_llc_and_memory() {
 fn completed_writes_match_wear_ledger() {
     let m = run("stream", WritePolicy::be_mellow_sc());
     let ledger_total: u64 = m.bank_wear.iter().map(|b| b.completed_writes()).sum();
-    let ctrl_total =
-        m.ctrl.writes_completed_normal + m.ctrl.writes_completed_slow;
+    let ctrl_total = m.ctrl.writes_completed_normal + m.ctrl.writes_completed_slow;
     assert_eq!(ledger_total, ctrl_total);
 }
 

@@ -1,0 +1,183 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the API subset the workspace's micro-benchmarks use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`], the
+//! [`Bencher::iter`] timing loop, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a plain wall-clock measurement
+//! loop instead of criterion's statistical machinery. Each benchmark
+//! prints `name: <mean> ns/iter (n iterations)` to stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization
+/// barrier.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Hands the measured closure to the timing loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    /// Iterations measured.
+    iterations: u64,
+    /// Measurement budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating an iteration count that fits the
+    /// measurement budget, then measuring one contiguous batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: double the batch until it costs at
+        // least ~1/10 of the budget.
+        let mut batch: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget / 10 || batch >= 1 << 24 {
+                break elapsed.as_secs_f64() / batch as f64;
+            }
+            batch *= 2;
+        };
+        // Measurement: as many batches as fit the remaining budget.
+        let iters =
+            ((self.budget.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(batch, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_secs_f64() * 1e9 / iters as f64;
+        self.iterations = iters;
+    }
+}
+
+/// Entry point collecting benchmark registrations.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iterations: 0,
+            budget: self.budget,
+        };
+        f(&mut b);
+        println!(
+            "{name}: {:.1} ns/iter ({} iterations)",
+            b.mean_ns, b.iterations
+        );
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes batches from
+    /// its time budget instead of a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, honoring the harness flags cargo passes: under
+/// `cargo test` (`--test`) benchmarks are skipped so test runs stay
+/// fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+            assert!(b.iterations > 0);
+            assert!(b.mean_ns >= 0.0);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .bench_function("inner", |b| b.iter(|| 1u32));
+        group.finish();
+    }
+}
