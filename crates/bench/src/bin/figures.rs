@@ -4,13 +4,16 @@
 //! figures <target> [--full] [--threads N] [--store PATH] [--no-cache]
 //!
 //! targets: fig1 fig2 fig3 tab5 tab6 fig10 fig11 fig12 fig13 fig14
-//!          fig15 fig16 fig17 fig18 fig19 calibrate ablate graded main
-//!          all
+//!          fig15 fig16 fig17 fig18 fig19 calibrate ablate graded perf
+//!          main all
 //! ```
 //!
 //! `main` runs the shared Figs. 10–17 matrix once and prints all of
 //! them; `all` additionally runs Figs. 1–3, 18, 19 and the tables.
-//! `--full` uses the publication scale (slower).
+//! `--full` uses the publication scale (slower). `perf` is not a paper
+//! artifact: it times the controller's indexed issue path against the
+//! legacy scan layout on full-system runs (always uncached, since it
+//! measures wall clock rather than simulated results).
 //!
 //! Simulations run on all available cores (`--threads N` overrides) and
 //! land in a JSON-lines result cache (`target/sweep-cache.jsonl` by
@@ -29,8 +32,8 @@ const USAGE: &str = "\
 usage: figures <target> [--full] [--threads N] [--store PATH] [--no-cache]
 
 targets: fig1 fig2 fig3 tab5 tab6 fig10 fig11 fig12 fig13 fig14
-         fig15 fig16 fig17 fig18 fig19 calibrate ablate graded main
-         all (default)
+         fig15 fig16 fig17 fig18 fig19 calibrate ablate graded perf
+         main all (default)
 
   --full        publication scale (slower)
   --threads N   worker threads (default: all cores)
@@ -144,6 +147,7 @@ fn main() {
         "calibrate" => out.push_str(&figures::calibrate(scale, &settings)),
         "ablate" => out.push_str(&figures::ablate(scale, &settings)),
         "graded" => out.push_str(&figures::graded(scale, &settings)),
+        "perf" => out.push_str(&perf_report(scale)),
         "main" => print_main(&mut out),
         "all" => {
             out.push_str(&figures::fig1());
@@ -159,4 +163,48 @@ fn main() {
         }
     }
     println!("{out}");
+}
+
+/// Times the indexed issue path against the legacy scan layout on a
+/// representative workload spread (streaming, random, write-heavy,
+/// multi-stream) and reports per-workload wall clock plus the geomean
+/// speedup. Every row must read `identical` — the layouts differ only
+/// in wall clock, never in simulated results.
+fn perf_report(scale: Scale) -> String {
+    use mellow_bench::compare_issue_paths;
+    use mellow_core::WritePolicy;
+
+    let workloads = ["stream", "gups", "lbm", "GemsFDTD"];
+    eprintln!("timing scan vs indexed issue paths on {workloads:?} (uncached)...");
+    let rows = compare_issue_paths(&workloads, WritePolicy::be_mellow_sc(), scale)
+        .expect("perf workloads are Table IV presets");
+
+    let mut out =
+        String::from("== controller issue-path wall clock (scan vs indexed, be_mellow_sc) ==\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>9} {:>9} {:>8}  {}\n",
+        "workload", "instr", "scan s", "index s", "speedup", "metrics"
+    ));
+    let mut log_sum = 0.0;
+    for r in &rows {
+        log_sum += r.speedup().ln();
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>9.3} {:>9.3} {:>7.2}x  {}\n",
+            r.workload,
+            r.instructions,
+            r.scan_secs,
+            r.indexed_secs,
+            r.speedup(),
+            if r.metrics_match {
+                "identical"
+            } else {
+                "MISMATCH"
+            }
+        ));
+    }
+    out.push_str(&format!(
+        "geomean speedup: {:.2}x\n",
+        (log_sum / rows.len() as f64).exp()
+    ));
+    out
 }

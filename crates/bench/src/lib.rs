@@ -25,8 +25,8 @@ mod runner;
 mod store;
 mod sweep;
 
+pub use runner::{compare_issue_paths, try_experiment_for, MatrixKey, PathComparison, Scale};
 #[allow(deprecated)]
 pub use runner::{experiment_for, run_matrix};
-pub use runner::{try_experiment_for, MatrixKey, Scale};
 pub use store::{CellKey, ResultStore, StoreError};
 pub use sweep::{into_matrix, Cell, CellResult, ConfigEdit, Sweep, SweepError, SweepSettings};

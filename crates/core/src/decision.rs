@@ -17,6 +17,29 @@ pub struct BankQueueView {
     pub quota_exceeded: bool,
 }
 
+impl BankQueueView {
+    /// Builds a view. The memory controller's hot path constructs one
+    /// per bank per arbitration pass.
+    pub const fn new(
+        reads_waiting: usize,
+        writes_waiting: usize,
+        eager_waiting: usize,
+        quota_exceeded: bool,
+    ) -> Self {
+        BankQueueView {
+            reads_waiting,
+            writes_waiting,
+            eager_waiting,
+            quota_exceeded,
+        }
+    }
+
+    /// Whether any request is queued for this bank.
+    pub const fn has_work(&self) -> bool {
+        self.reads_waiting + self.writes_waiting + self.eager_waiting > 0
+    }
+}
+
 /// The outcome of the Figure 9 decision tree for one bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WriteDecision {

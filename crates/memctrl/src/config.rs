@@ -52,6 +52,11 @@ pub struct MemConfig {
     /// attempts the write runs to completion (prevents livelock under a
     /// steady read stream).
     pub max_cancels: u32,
+    /// Use the legacy shared-FIFO scan queues instead of the indexed
+    /// per-bank queues. The two produce bit-identical results; the scan
+    /// layout is the slower reference implementation kept for the
+    /// equivalence tests.
+    pub use_scan_queues: bool,
     /// Start-Gap gap-movement interval Ψ (writes per move).
     pub startgap_interval: u32,
     /// Wear-leveling efficiency η used for lifetime projection.
@@ -81,6 +86,7 @@ impl MemConfig {
             sample_period: Duration::from_us(500),
             cancel_threshold: 0.75,
             max_cancels: 4,
+            use_scan_queues: false,
             startgap_interval: 100,
             leveling_efficiency: 0.9,
         }

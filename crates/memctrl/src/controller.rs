@@ -1,6 +1,7 @@
 //! The resistive-memory controller: queues, bank state machines, write
 //! drains, write cancellation, and the Mellow Writes issue logic.
 
+use crate::queues::{QueuedReq, ReadPick, RequestQueues};
 use crate::{LineMapping, MemConfig};
 use mellow_core::{
     decide_write, demand_speed, BankQueueView, WearQuota, WearQuotaConfig, WriteDecision,
@@ -12,7 +13,8 @@ use mellow_nvm::energy::EnergyAccount;
 use mellow_nvm::{
     CancelWear, EnduranceModel, LifetimeModel, LifetimeProjection, StartGap, WearLedger,
 };
-use std::collections::VecDeque;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
 
 /// Counters exposed by the controller (the raw material of Figs. 2–3 and
 /// 10–18).
@@ -20,8 +22,14 @@ use std::collections::VecDeque;
 pub struct CtrlStats {
     /// Reads accepted into the read queue.
     pub reads_accepted: u64,
-    /// Reads serviced by forwarding from the write/eager queues.
+    /// Reads serviced by forwarding from a pending (queued or in-flight)
+    /// write.
     pub reads_forwarded: u64,
+    /// The subset of `reads_forwarded` whose write was in flight at its
+    /// bank when the read arrived. Before forwarding covered in-flight
+    /// writes, these reads entered the read queue and could cancel the
+    /// very write holding their data.
+    pub reads_forwarded_in_flight: u64,
     /// Reads rejected because the read queue was full.
     pub read_rejects: u64,
     /// Demand writes accepted into the write queue.
@@ -49,6 +57,11 @@ pub struct CtrlStats {
     /// Write attempts paused (and later resumed) for an incoming read
     /// (`+WP` policies).
     pub writes_paused: u64,
+    /// Cancels/pauses that struck before the write pulse began (the
+    /// line was still bursting over the bus): no data reached the bank,
+    /// so the retry must re-transfer, and the aborted bus slot is
+    /// released.
+    pub pre_pulse_cancels: u64,
     /// Write-drain episodes entered.
     pub write_drains: u64,
     /// Read latency from enqueue to data return, in nanoseconds.
@@ -61,6 +74,7 @@ impl mellow_engine::json::JsonField for CtrlStats {
             self,
             reads_accepted,
             reads_forwarded,
+            reads_forwarded_in_flight,
             read_rejects,
             demand_writes_accepted,
             write_rejects,
@@ -74,6 +88,7 @@ impl mellow_engine::json::JsonField for CtrlStats {
             eager_completed,
             writes_cancelled,
             writes_paused,
+            pre_pulse_cancels,
             write_drains,
             read_latency_ns,
         )
@@ -85,6 +100,7 @@ impl mellow_engine::json::JsonField for CtrlStats {
             CtrlStats {
                 reads_accepted,
                 reads_forwarded,
+                reads_forwarded_in_flight,
                 read_rejects,
                 demand_writes_accepted,
                 write_rejects,
@@ -98,6 +114,7 @@ impl mellow_engine::json::JsonField for CtrlStats {
                 eager_completed,
                 writes_cancelled,
                 writes_paused,
+                pre_pulse_cancels,
                 write_drains,
                 read_latency_ns,
             }
@@ -111,22 +128,6 @@ impl CtrlStats {
     pub fn issued_to_banks(&self) -> u64 {
         self.rb_hit_reads + self.rb_miss_reads + self.writes_issued_normal + self.writes_issued_slow
     }
-}
-
-#[derive(Debug, Clone, Copy)]
-struct QueuedReq {
-    line: u64,
-    bank: usize,
-    row: u64,
-    enq: SimTime,
-    /// Set when this write was cancelled mid-pulse: its data is already
-    /// latched at the bank, so a retry needs no new bus transfer.
-    data_resident: bool,
-    /// How many times this write has been cancelled already.
-    cancels: u32,
-    /// Fraction of the write pulse still to drive (1.0 for a fresh
-    /// write; less after `+WP` pauses).
-    remaining: f64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +180,14 @@ struct Completion {
 /// Write speeds follow the configured [`WritePolicy`] through the
 /// Figure 9 decision tree.
 ///
+/// The queues are held in per-bank indexed form (see the `queues`
+/// module) so bank arbitration never scans a shared FIFO, a line index
+/// answers read-forwarding lookups in O(1), and [`tick`](Self::tick)
+/// fast-paths any cycle provably before the next actionable event.
+/// Setting [`MemConfig::use_scan_queues`] reverts to the legacy
+/// shared-FIFO scan implementation, which produces bit-identical
+/// results and anchors the equivalence tests.
+///
 /// Drive it by calling [`tick`](Self::tick) once per memory-clock cycle;
 /// offer work with [`try_read`](Self::try_read) /
 /// [`try_write`](Self::try_write) / [`try_eager`](Self::try_eager) and
@@ -217,9 +226,13 @@ pub struct Controller {
     policy: WritePolicy,
     endurance: EnduranceModel,
     cancel_wear: CancelWear,
-    read_q: VecDeque<QueuedReq>,
-    write_q: VecDeque<QueuedReq>,
-    eager_q: VecDeque<QueuedReq>,
+    queues: RequestQueues,
+    /// Pending demand/eager writes per raw line address (queued plus
+    /// in-flight), for O(1) read-forwarding lookups. Counted, because
+    /// the same line can be written back repeatedly. Membership is
+    /// unchanged by issue and cancel (the write stays pending either
+    /// way); only acceptance and completion move the count.
+    pending_line_writes: HashMap<u64, u32>,
     banks: Vec<BankState>,
     /// Recent activation times per rank, for tFAW.
     rank_acts: Vec<VecDeque<SimTime>>,
@@ -238,6 +251,11 @@ pub struct Controller {
     stats: CtrlStats,
     next_serial: u64,
     rr_start: usize,
+    /// No tick strictly before this time can act (see
+    /// [`compute_next_actionable`](Self::compute_next_actionable));
+    /// `tick` fast-paths such cycles. Reset to `ZERO` whenever a request
+    /// is accepted.
+    next_actionable: SimTime,
 }
 
 impl Controller {
@@ -263,9 +281,8 @@ impl Controller {
         });
         let sample_period = cfg.sample_period;
         Controller {
-            read_q: VecDeque::new(),
-            write_q: VecDeque::new(),
-            eager_q: VecDeque::new(),
+            queues: RequestQueues::new(banks, cfg.use_scan_queues),
+            pending_line_writes: HashMap::new(),
             banks: (0..banks).map(|_| BankState::default()).collect(),
             rank_acts: (0..cfg.num_ranks).map(|_| VecDeque::new()).collect(),
             bus_free_at: SimTime::ZERO,
@@ -284,6 +301,7 @@ impl Controller {
             stats: CtrlStats::default(),
             next_serial: 0,
             rr_start: 0,
+            next_actionable: SimTime::ZERO,
             policy,
             endurance,
             cancel_wear,
@@ -330,32 +348,47 @@ impl Controller {
         &self.energy
     }
 
+    /// Whether a demand/eager write for `line` is in flight at `bank`.
+    fn write_in_flight_at(&self, line: u64, bank: usize) -> bool {
+        self.banks[bank]
+            .in_flight
+            .is_some_and(|op| op.line == line && op.kind != OpKind::Read)
+    }
+
     /// Offers a read for `line`. Returns `false` when the read queue is
-    /// full. Reads of lines with a pending write are serviced by
-    /// forwarding without touching the banks.
+    /// full. Reads of lines with a pending write — queued *or* already
+    /// in flight at the bank — are serviced by forwarding without
+    /// touching the banks. (Were in-flight writes not forwarded, such a
+    /// read would enter the read queue and could cancel the very write
+    /// holding the only copy of its data.)
     pub fn try_read(&mut self, line: u64, now: SimTime) -> bool {
-        if self
-            .write_q
-            .iter()
-            .chain(self.eager_q.iter())
-            .any(|w| w.line == line)
-        {
-            // Forward from the write queue: data returns after the
+        let bank = self.cfg.map_line(line).bank;
+        let pending_write = if self.queues.is_scan() {
+            self.queues.has_queued_write(line, bank) || self.write_in_flight_at(line, bank)
+        } else {
+            self.pending_line_writes.contains_key(&line)
+        };
+        if pending_write {
+            // Forward from the pending write: data returns after the
             // column + bus latency without disturbing the banks.
             self.stats.reads_forwarded += 1;
+            if self.write_in_flight_at(line, bank) {
+                self.stats.reads_forwarded_in_flight += 1;
+            }
             let end = now + self.cfg.t_cas + self.cfg.t_bus;
             self.stats
                 .read_latency_ns
                 .record(end.saturating_since(now).as_ns());
             self.forwarded_pending.push_back((end, line));
+            self.next_actionable = SimTime::ZERO;
             return true;
         }
-        if self.read_q.len() >= self.cfg.read_queue_cap {
+        if self.queues.read_len() >= self.cfg.read_queue_cap {
             self.stats.read_rejects += 1;
             return false;
         }
         let mapping = self.cfg.map_line(line);
-        self.read_q.push_back(QueuedReq {
+        self.queues.push_read(QueuedReq {
             line,
             bank: mapping.bank,
             row: mapping.row,
@@ -365,18 +398,19 @@ impl Controller {
             remaining: 1.0,
         });
         self.stats.reads_accepted += 1;
+        self.next_actionable = SimTime::ZERO;
         true
     }
 
     /// Offers a demand write (LLC dirty eviction) for `line`. Returns
     /// `false` when the write queue is full.
     pub fn try_write(&mut self, line: u64, now: SimTime) -> bool {
-        if self.write_q.len() >= self.cfg.write_queue_cap {
+        if self.queues.write_len() >= self.cfg.write_queue_cap {
             self.stats.write_rejects += 1;
             return false;
         }
         let mapping = self.cfg.map_line(line);
-        self.write_q.push_back(QueuedReq {
+        self.queues.push_write(QueuedReq {
             line,
             bank: mapping.bank,
             row: mapping.row,
@@ -385,14 +419,16 @@ impl Controller {
             cancels: 0,
             remaining: 1.0,
         });
+        *self.pending_line_writes.entry(line).or_insert(0) += 1;
         self.stats.demand_writes_accepted += 1;
+        self.next_actionable = SimTime::ZERO;
         true
     }
 
     /// Returns `true` when the Eager Mellow queue can accept another
     /// entry (the LLC checks before probing for a candidate).
     pub fn eager_has_room(&self) -> bool {
-        self.eager_q.len() < self.cfg.eager_queue_cap
+        self.queues.eager_len() < self.cfg.eager_queue_cap
     }
 
     /// Offers an eager writeback for `line`.
@@ -405,7 +441,7 @@ impl Controller {
     pub fn try_eager(&mut self, line: u64, now: SimTime) {
         assert!(self.eager_has_room(), "eager queue overflow");
         let mapping = self.cfg.map_line(line);
-        self.eager_q.push_back(QueuedReq {
+        self.queues.push_eager(QueuedReq {
             line,
             bank: mapping.bank,
             row: mapping.row,
@@ -414,7 +450,9 @@ impl Controller {
             cancels: 0,
             remaining: 1.0,
         });
+        *self.pending_line_writes.entry(line).or_insert(0) += 1;
         self.stats.eager_writes_accepted += 1;
+        self.next_actionable = SimTime::ZERO;
     }
 
     /// Removes and returns the next completed read's line address.
@@ -430,12 +468,82 @@ impl Controller {
 
     /// Advances the controller to memory-clock edge `now`.
     pub fn tick(&mut self, now: SimTime) {
+        if now < self.next_actionable {
+            // Nothing can act yet. Keep round-robin fairness identical
+            // to a full tick (`issue` advances it once per call).
+            self.rr_start = (self.rr_start + 1) % self.banks.len();
+            return;
+        }
         self.drain_forwarded(now);
         self.process_completions(now);
         self.roll_periods(now);
         self.update_drain_state(now);
         self.cancel_writes_for_reads(now);
-        self.issue(now);
+        let tfaw_blocked = self.issue(now);
+        self.next_actionable = self.compute_next_actionable(now, tfaw_blocked);
+    }
+
+    /// The earliest time a future tick could act given current state —
+    /// the license for `tick`'s fast path.
+    ///
+    /// Exactness: every event that could make an earlier tick act either
+    /// (a) is scheduled and included in the minimum below — completions,
+    /// pending forwarded reads, quota period boundaries, busy banks with
+    /// issueable work; (b) arrives through `try_read`/`try_write`/
+    /// `try_eager`, each of which resets `next_actionable` to `ZERO`; or
+    /// (c) is due immediately, in which case `ZERO` is returned — a
+    /// pending drain transition, a tFAW-blocked activation, a free bank
+    /// with issueable work. Cancel/pause decisions need no entry of
+    /// their own: a declined cancel stays declined (pulse progress only
+    /// grows and the cancel budget never refills), and every state
+    /// change that *creates* a cancel candidate — a read arrival or a
+    /// write issue — already runs through (a)–(c). A write-issue
+    /// decision that is `Idle` now likewise stays `Idle` until one of
+    /// those same events changes the bank's queue view.
+    fn compute_next_actionable(&self, now: SimTime, tfaw_blocked: bool) -> SimTime {
+        if self.queues.is_scan() || tfaw_blocked {
+            // Scan mode is the always-full-tick reference implementation.
+            return SimTime::ZERO;
+        }
+        let wq = self.queues.write_len();
+        let transition_pending = if self.draining {
+            wq <= self.cfg.drain_low
+        } else {
+            wq >= self.cfg.drain_high
+        };
+        if transition_pending {
+            return SimTime::ZERO;
+        }
+        let mut next = SimTime::MAX;
+        if let Some(t) = self.completions.next_due() {
+            next = next.min(t);
+        }
+        if let Some(&(t, _)) = self.forwarded_pending.front() {
+            next = next.min(t);
+        }
+        if self.quota.is_some() {
+            next = next.min(self.next_period_at);
+        }
+        for bank_idx in 0..self.banks.len() {
+            let issueable = if self.draining {
+                self.queues.writes_at(bank_idx) > 0
+            } else {
+                self.queues.reads_at(bank_idx) > 0
+                    || !matches!(
+                        decide_write(&self.policy, self.bank_view(bank_idx)),
+                        WriteDecision::Idle
+                    )
+            };
+            if !issueable {
+                continue;
+            }
+            let busy_until = self.banks[bank_idx].busy_until;
+            if busy_until <= now {
+                return SimTime::ZERO;
+            }
+            next = next.min(busy_until);
+        }
+        next
     }
 
     fn drain_forwarded(&mut self, now: SimTime) {
@@ -473,6 +581,16 @@ impl Controller {
     }
 
     fn complete_write(&mut self, bank_idx: usize, op: InFlight) {
+        match self.pending_line_writes.entry(op.line) {
+            Entry::Occupied(mut e) => {
+                if *e.get() <= 1 {
+                    e.remove();
+                } else {
+                    *e.get_mut() -= 1;
+                }
+            }
+            Entry::Vacant(_) => debug_assert!(false, "completed write missing from line index"),
+        }
         let factor = op.factor;
         let sg = &mut self.startgaps[bank_idx];
         let phys = sg.remap(op.mapping.block);
@@ -508,11 +626,11 @@ impl Controller {
     }
 
     fn update_drain_state(&mut self, now: SimTime) {
-        if !self.draining && self.write_q.len() >= self.cfg.drain_high {
+        if !self.draining && self.queues.write_len() >= self.cfg.drain_high {
             self.draining = true;
             self.stats.write_drains += 1;
             self.drain_tracker.set_busy(now);
-        } else if self.draining && self.write_q.len() <= self.cfg.drain_low {
+        } else if self.draining && self.queues.write_len() <= self.cfg.drain_low {
             self.draining = false;
             self.drain_tracker.set_idle(now);
         }
@@ -523,8 +641,7 @@ impl Controller {
             return; // drains must make forward progress
         }
         for bank_idx in 0..self.banks.len() {
-            let has_read = self.read_q.iter().any(|r| r.bank == bank_idx);
-            if !has_read {
+            if self.queues.reads_at(bank_idx) == 0 {
                 continue;
             }
             let bank = &mut self.banks[bank_idx];
@@ -534,6 +651,7 @@ impl Controller {
             }
             // Cancel or pause: yield the bank to the read and re-queue
             // the write at the front so it keeps its age priority.
+            let in_pulse = now >= op.pulse_start;
             let pulse = op.end.saturating_since(op.pulse_start);
             let done = now.saturating_since(op.pulse_start);
             // Fraction of this *segment* driven so far.
@@ -569,116 +687,118 @@ impl Controller {
             };
             // Refund the unspent busy time (saturating: the issue may
             // predate a measurement reset that zeroed busy_time).
+            let bank = &mut self.banks[bank_idx];
             bank.busy_time = bank.busy_time.saturating_sub(op.end.saturating_since(now));
             bank.busy_until = now;
             bank.in_flight = None;
+            if !in_pulse {
+                // The line was still bursting over the bus: no data has
+                // reached the bank, so the retry is not `data_resident`,
+                // and the aborted transfer's bus slot is released. (Bus
+                // reservations grow strictly, so `bus_free_at` equals
+                // this op's `pulse_start` exactly when it still holds
+                // the newest reservation.)
+                self.stats.pre_pulse_cancels += 1;
+                if self.bus_free_at == op.pulse_start {
+                    self.bus_free_at = now;
+                }
+            }
             let req = QueuedReq {
                 line: op.line,
                 bank: bank_idx,
                 row: op.mapping.row,
                 enq: op.enq,
-                data_resident: true,
+                data_resident: in_pulse,
                 cancels: op.cancels + 1,
                 remaining,
             };
-            match op.kind {
-                OpKind::EagerWrite => self.eager_q.push_front(req),
-                _ => self.write_q.push_front(req),
-            }
+            self.queues
+                .requeue_front(req, op.kind == OpKind::EagerWrite);
         }
     }
 
     fn bank_view(&self, bank: usize) -> BankQueueView {
-        BankQueueView {
-            reads_waiting: self.read_q.iter().filter(|r| r.bank == bank).count(),
-            writes_waiting: self.write_q.iter().filter(|r| r.bank == bank).count(),
-            eager_waiting: self.eager_q.iter().filter(|r| r.bank == bank).count(),
-            quota_exceeded: self
-                .quota
+        BankQueueView::new(
+            self.queues.reads_at(bank),
+            self.queues.writes_at(bank),
+            self.queues.eager_at(bank),
+            self.quota
                 .as_ref()
                 .map(|q| q.exceeded(bank))
                 .unwrap_or(false),
-        }
+        )
     }
 
-    fn issue(&mut self, now: SimTime) {
+    /// One round-robin arbitration pass over the banks. Returns whether
+    /// any activation was blocked by tFAW (it must retry next cycle).
+    fn issue(&mut self, now: SimTime) -> bool {
         let n = self.banks.len();
         let start = self.rr_start;
         self.rr_start = (self.rr_start + 1) % n;
+        let mut tfaw_blocked = false;
         for i in 0..n {
             let bank_idx = (start + i) % n;
             if now < self.banks[bank_idx].busy_until {
                 continue;
             }
             if self.draining {
-                if let Some(pos) = self.write_q.iter().position(|w| w.bank == bank_idx) {
+                if self.queues.writes_at(bank_idx) > 0 {
                     let view = self.bank_view(bank_idx);
                     let speed = demand_speed(&self.policy, view);
-                    let req = self.write_q.remove(pos).expect("position valid");
+                    let req = self
+                        .queues
+                        .take_write(bank_idx)
+                        .expect("occupancy implies a queued write");
                     self.issue_write(bank_idx, req, speed, OpKind::DemandWrite, now);
                 }
                 continue; // reads are blocked while draining
             }
             // Reads have priority: row-buffer hit first, then oldest.
-            if let Some(pos) = self.pick_read(bank_idx) {
-                if self.issue_read_at(bank_idx, pos, now) {
-                    continue;
-                } else {
-                    continue; // tFAW-blocked; retry next cycle
+            if let Some((req, pick)) = self
+                .queues
+                .pick_read(bank_idx, self.banks[bank_idx].open_row)
+            {
+                if !self.issue_read(bank_idx, req, pick, now) {
+                    tfaw_blocked = true; // retry next cycle
                 }
+                continue;
             }
             let view = self.bank_view(bank_idx);
             match decide_write(&self.policy, view) {
                 WriteDecision::Demand(speed) => {
-                    let pos = self
-                        .write_q
-                        .iter()
-                        .position(|w| w.bank == bank_idx)
+                    let req = self
+                        .queues
+                        .take_write(bank_idx)
                         .expect("decision implies a queued write");
-                    let req = self.write_q.remove(pos).expect("position valid");
                     self.issue_write(bank_idx, req, speed, OpKind::DemandWrite, now);
                 }
                 WriteDecision::Eager(speed) => {
-                    let pos = self
-                        .eager_q
-                        .iter()
-                        .position(|w| w.bank == bank_idx)
+                    let req = self
+                        .queues
+                        .take_eager(bank_idx)
                         .expect("decision implies a queued eager write");
-                    let req = self.eager_q.remove(pos).expect("position valid");
                     self.issue_write(bank_idx, req, speed, OpKind::EagerWrite, now);
                 }
                 WriteDecision::Idle => {}
             }
         }
+        tfaw_blocked
     }
 
-    /// Index of the read to issue for `bank`: the oldest row-buffer hit
-    /// if any, else the oldest read.
-    fn pick_read(&self, bank: usize) -> Option<usize> {
-        let open = self.banks[bank].open_row;
-        let mut oldest: Option<usize> = None;
-        for (i, r) in self.read_q.iter().enumerate() {
-            if r.bank != bank {
-                continue;
-            }
-            if Some(r.row) == open {
-                return Some(i);
-            }
-            if oldest.is_none() {
-                oldest = Some(i);
-            }
-        }
-        oldest
-    }
-
-    /// Returns `false` when tFAW blocks the needed activation.
-    fn issue_read_at(&mut self, bank_idx: usize, pos: usize, now: SimTime) -> bool {
-        let req = self.read_q[pos];
+    /// Returns `false` when tFAW blocks the needed activation (the read
+    /// stays queued; `pick` is dropped untouched).
+    fn issue_read(
+        &mut self,
+        bank_idx: usize,
+        req: QueuedReq,
+        pick: ReadPick,
+        now: SimTime,
+    ) -> bool {
         let hit = self.banks[bank_idx].open_row == Some(req.row);
         if !hit && !self.try_activate(self.cfg.rank_of(bank_idx), now) {
             return false;
         }
-        self.read_q.remove(pos);
+        self.queues.remove_read(pick);
         let access_done = if hit {
             now + self.cfg.t_cas
         } else {
@@ -735,7 +855,7 @@ impl Controller {
             WriteSpeed::Normal => 1.0,
             // +GR: grade the slowdown by write-queue pressure.
             WriteSpeed::Slow => self.policy.slow_factor_for_occupancy(
-                self.write_q.len() as f64 / self.cfg.write_queue_cap as f64,
+                self.queues.write_len() as f64 / self.cfg.write_queue_cap as f64,
             ),
         };
         // A resumed (+WP) write only drives its outstanding fraction.
@@ -835,7 +955,11 @@ impl Controller {
 
     /// Returns the current read/write/eager queue occupancies.
     pub fn queue_depths(&self) -> (usize, usize, usize) {
-        (self.read_q.len(), self.write_q.len(), self.eager_q.len())
+        (
+            self.queues.read_len(),
+            self.queues.write_len(),
+            self.queues.eager_len(),
+        )
     }
 
     /// Returns how many banks the Wear Quota currently restricts to slow
@@ -875,5 +999,6 @@ impl Controller {
             self.quota = Some(WearQuota::new(qc, self.cfg.num_banks));
             self.next_period_at = now + qc.sample_period;
         }
+        self.next_actionable = SimTime::ZERO;
     }
 }

@@ -28,8 +28,6 @@ pub struct SystemConfig {
     pub endurance: EnduranceModel,
     /// Wear charged to cancelled write attempts.
     pub cancel_wear: CancelWear,
-    /// LLC utility-monitor sampling period (`T_sample`, 500 µs).
-    pub sample_period: Duration,
     /// Master seed (workload and eager-probe RNG streams derive from
     /// it).
     pub seed: u64,
@@ -40,6 +38,14 @@ pub struct SystemConfig {
 }
 
 impl SystemConfig {
+    /// The shared sampling period `T_sample` (500 µs in the paper),
+    /// single-sourced from [`MemConfig::sample_period`] so the LLC
+    /// utility monitor and the Wear Quota can never sample at different
+    /// rates.
+    pub fn sample_period(&self) -> Duration {
+        self.mem.sample_period
+    }
+
     /// The paper's configuration with the given write policy.
     pub fn paper_default(policy: WritePolicy) -> Self {
         SystemConfig {
@@ -52,7 +58,6 @@ impl SystemConfig {
             policy,
             endurance: EnduranceModel::reram_default(),
             cancel_wear: CancelWear::Prorated,
-            sample_period: Duration::from_us(500),
             seed: 0xC0FFEE,
             track_block_wear: false,
         }
@@ -73,10 +78,6 @@ impl SystemConfig {
         assert_eq!(
             self.llc.line_bytes, self.mem.line_bytes,
             "line size mismatch"
-        );
-        assert!(
-            self.sample_period > Duration::ZERO,
-            "sample period must be non-zero"
         );
         self.mem.validate();
     }

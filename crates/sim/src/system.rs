@@ -73,7 +73,7 @@ impl System {
             ctrl.enable_block_tracking();
         }
         let eager_rng = DetRng::seed_from(cfg.seed).derive(0x000E_A6EE);
-        let next_sample_at = SimTime::ZERO + cfg.sample_period;
+        let next_sample_at = SimTime::ZERO + cfg.sample_period();
         System {
             core,
             l1,
@@ -222,7 +222,7 @@ impl System {
         // Utility-monitor sampling every T_sample.
         if self.now >= self.next_sample_at {
             self.llc.sample_utility();
-            self.next_sample_at += self.cfg.sample_period;
+            self.next_sample_at += self.cfg.sample_period();
         }
     }
 

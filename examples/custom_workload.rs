@@ -44,8 +44,7 @@ fn main() {
             .warmup_llc_fills(1.2)
             .instructions(300_000)
             .configure(|c| {
-                c.sample_period = Duration::from_us(40);
-                c.mem.sample_period = c.sample_period;
+                c.mem.sample_period = Duration::from_us(40);
             })
             .run();
         println!("{}", m.summary());

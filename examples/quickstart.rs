@@ -26,8 +26,7 @@ fn main() {
             .instructions(400_000)
             .configure(|c| {
                 // Scale the quota/monitor period with the short window.
-                c.sample_period = mellow_writes::engine::Duration::from_us(40);
-                c.mem.sample_period = c.sample_period;
+                c.mem.sample_period = mellow_writes::engine::Duration::from_us(40);
             })
             .run()
     };

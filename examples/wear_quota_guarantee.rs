@@ -19,7 +19,6 @@ fn main() {
         .expect("lbm is a Table IV workload")
         .warmup(0)
         .configure(|c| {
-            c.sample_period = period;
             c.mem.sample_period = period;
         });
     let mut system = experiment.build();

@@ -25,8 +25,7 @@ fn scaled(workload: &str, policy: WritePolicy, seed: u64) -> Experiment {
             c.l1.size_bytes = 4 << 10;
             c.l2.size_bytes = 16 << 10;
             c.llc.size_bytes = 64 << 10;
-            c.sample_period = Duration::from_us(10);
-            c.mem.sample_period = c.sample_period;
+            c.mem.sample_period = Duration::from_us(10);
         })
 }
 
@@ -258,13 +257,41 @@ fn all_policies_run_all_workloads_scaled() {
                     c.l1.size_bytes = 4 << 10;
                     c.l2.size_bytes = 16 << 10;
                     c.llc.size_bytes = 64 << 10;
-                    c.sample_period = Duration::from_us(10);
-                    c.mem.sample_period = c.sample_period;
+                    c.mem.sample_period = Duration::from_us(10);
                 })
                 .run();
             assert!(m.ipc > 0.0, "{w}/{p}: no progress");
             assert!(m.instructions >= 50_000);
         }
+    }
+}
+
+#[test]
+fn indexed_and_scan_queue_paths_produce_identical_metrics() {
+    // The controller's indexed per-bank queues must be a pure
+    // performance optimization: on every Table IV workload, a full
+    // system run produces a bit-identical metrics row to the legacy
+    // shared-FIFO scan layout (`MemConfig::use_scan_queues`).
+    for w in WorkloadSpec::names() {
+        let row = |scan: bool| {
+            let mut spec = WorkloadSpec::by_name(&w).unwrap();
+            spec.avg_interval = (spec.avg_interval / 8.0).max(2.0);
+            spec.working_set_bytes = spec.working_set_bytes.min(16 << 20);
+            Experiment::with_spec(spec, WritePolicy::be_mellow_sc().with_wear_quota())
+                .warmup(30_000)
+                .instructions(50_000)
+                .configure(move |c| {
+                    c.l1.size_bytes = 4 << 10;
+                    c.l2.size_bytes = 16 << 10;
+                    c.llc.size_bytes = 64 << 10;
+                    c.mem.sample_period = Duration::from_us(10);
+                    c.mem.use_scan_queues = scan;
+                })
+                .run()
+                .to_json()
+                .to_string()
+        };
+        assert_eq!(row(true), row(false), "{w}: queue layouts diverge");
     }
 }
 

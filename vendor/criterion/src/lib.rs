@@ -46,8 +46,12 @@ impl Bencher {
             batch *= 2;
         };
         // Measurement: as many batches as fit the remaining budget.
-        let iters =
-            ((self.budget.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(batch, 10_000_000);
+        // Cap after raising to the calibrated batch: for sub-ns bodies
+        // the batch itself can exceed the cap, and `clamp` would panic
+        // on min > max.
+        let iters = ((self.budget.as_secs_f64() / per_iter.max(1e-12)) as u64)
+            .max(batch)
+            .min(10_000_000);
         let start = Instant::now();
         for _ in 0..iters {
             std_black_box(f());
