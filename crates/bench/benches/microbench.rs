@@ -161,6 +161,38 @@ fn bench_system_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_system_loops(c: &mut Criterion) {
+    // The same retirement target under both run_instructions loops:
+    // `_cycle` is the one-cycle-at-a-time oracle, the unsuffixed bench
+    // the event-driven fast-forward default. The gap is widest on gups,
+    // whose random misses keep the core head-blocked on memory for most
+    // of its cycles.
+    let mut group = c.benchmark_group("system_loop");
+    group.sample_size(10);
+    for workload in ["gups", "stream"] {
+        for (suffix, cycle_loop) in [("", false), ("_cycle", true)] {
+            group.bench_function(format!("run_20k_instructions_{workload}{suffix}"), |b| {
+                let mut spec = WorkloadSpec::try_by_name(workload).unwrap();
+                spec.working_set_bytes = 16 << 20;
+                b.iter(|| {
+                    let mut system =
+                        Experiment::with_spec(spec.clone(), WritePolicy::be_mellow_sc())
+                            .configure(|c| {
+                                c.l1.size_bytes = 4 << 10;
+                                c.l2.size_bytes = 16 << 10;
+                                c.llc.size_bytes = 64 << 10;
+                                c.use_cycle_loop = cycle_loop;
+                            })
+                            .build();
+                    system.run_instructions(20_000);
+                    black_box(system.core().ipc())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_sweep_overhead(c: &mut Criterion) {
     use mellow_bench::{try_experiment_for, CellKey, Scale};
     // The sweep path builds each cell's experiment and hashes it into a
@@ -188,6 +220,7 @@ criterion_group!(
     bench_endurance,
     bench_controller_tick,
     bench_system_throughput,
+    bench_system_loops,
     bench_sweep_overhead,
 );
 criterion_main!(benches);

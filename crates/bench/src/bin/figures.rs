@@ -10,10 +10,13 @@
 //!
 //! `main` runs the shared Figs. 10–17 matrix once and prints all of
 //! them; `all` additionally runs Figs. 1–3, 18, 19 and the tables.
-//! `--full` uses the publication scale (slower). `perf` is not a paper
-//! artifact: it times the controller's indexed issue path against the
-//! legacy scan layout on full-system runs (always uncached, since it
-//! measures wall clock rather than simulated results).
+//! `--full` uses the publication scale (slower); `--tiny` a CI smoke
+//! scale. `perf` is not a paper artifact: it times the controller's
+//! indexed issue path against the legacy scan layout and the system's
+//! event-driven fast-forward loop against the one-cycle-at-a-time
+//! oracle on full-system runs (always uncached, since it measures wall
+//! clock rather than simulated results), then appends the measurements
+//! to `BENCH_controller.json` / `BENCH_system.json` at the repo root.
 //!
 //! Simulations run on all available cores (`--threads N` overrides) and
 //! land in a JSON-lines result cache (`target/sweep-cache.jsonl` by
@@ -29,13 +32,14 @@ use std::process::exit;
 const DEFAULT_STORE: &str = "target/sweep-cache.jsonl";
 
 const USAGE: &str = "\
-usage: figures <target> [--full] [--threads N] [--store PATH] [--no-cache]
+usage: figures <target> [--full|--tiny] [--threads N] [--store PATH] [--no-cache]
 
 targets: fig1 fig2 fig3 tab5 tab6 fig10 fig11 fig12 fig13 fig14
          fig15 fig16 fig17 fig18 fig19 calibrate ablate graded perf
          main all (default)
 
   --full        publication scale (slower)
+  --tiny        CI smoke scale (fast, not meaningful for artifacts)
   --threads N   worker threads (default: all cores)
   --store PATH  result cache file (default: target/sweep-cache.jsonl)
   --no-cache    run every cell, ignore and don't write the cache";
@@ -50,14 +54,25 @@ fn main() {
         a.starts_with('-')
             && !matches!(
                 a.as_str(),
-                "--full" | "--threads" | "--store" | "--no-cache"
+                "--full" | "--tiny" | "--threads" | "--store" | "--no-cache"
             )
     }) {
         eprintln!("unknown option {bad:?}\n{USAGE}");
         exit(2);
     }
     let full = args.iter().any(|a| a == "--full");
-    let scale = if full { Scale::full() } else { Scale::quick() };
+    let tiny = args.iter().any(|a| a == "--tiny");
+    if full && tiny {
+        eprintln!("--full and --tiny are mutually exclusive\n{USAGE}");
+        exit(2);
+    }
+    let scale = if full {
+        Scale::full()
+    } else if tiny {
+        Scale::tiny()
+    } else {
+        Scale::quick()
+    };
     let flag_value = |flag: &str| {
         args.iter().position(|a| a == flag).map(|i| {
             args.get(i + 1).cloned().unwrap_or_else(|| {
@@ -165,27 +180,33 @@ fn main() {
     println!("{out}");
 }
 
-/// Times the indexed issue path against the legacy scan layout on a
-/// representative workload spread (streaming, random, write-heavy,
-/// multi-stream) and reports per-workload wall clock plus the geomean
-/// speedup. Every row must read `identical` — the layouts differ only
-/// in wall clock, never in simulated results.
+/// Times the indexed issue path against the legacy scan layout and the
+/// event-driven fast-forward loop against the one-cycle-at-a-time
+/// oracle on a representative workload spread (streaming, random,
+/// write-heavy, multi-stream), reporting per-workload wall clock plus
+/// geomean speedups. Every row must read `identical` — the paths
+/// differ only in wall clock, never in simulated results. Measurements
+/// are appended to `BENCH_controller.json` / `BENCH_system.json` at
+/// the repository root.
 fn perf_report(scale: Scale) -> String {
-    use mellow_bench::compare_issue_paths;
+    use mellow_bench::trajectory::{append_records, git_describe, repo_root, BenchRecord};
+    use mellow_bench::{compare_issue_paths, compare_system_loops, microbench_system_loops};
     use mellow_core::WritePolicy;
 
     let workloads = ["stream", "gups", "lbm", "GemsFDTD"];
+    let git = git_describe();
+    let mut out = String::new();
+
     eprintln!("timing scan vs indexed issue paths on {workloads:?} (uncached)...");
     let rows = compare_issue_paths(&workloads, WritePolicy::be_mellow_sc(), scale)
         .expect("perf workloads are Table IV presets");
-
-    let mut out =
-        String::from("== controller issue-path wall clock (scan vs indexed, be_mellow_sc) ==\n");
+    out.push_str("== controller issue-path wall clock (scan vs indexed, be_mellow_sc) ==\n");
     out.push_str(&format!(
         "{:<12} {:>10} {:>9} {:>9} {:>8}  {}\n",
         "workload", "instr", "scan s", "index s", "speedup", "metrics"
     ));
     let mut log_sum = 0.0;
+    let mut ctrl_records = Vec::new();
     for r in &rows {
         log_sum += r.speedup().ln();
         out.push_str(&format!(
@@ -201,10 +222,111 @@ fn perf_report(scale: Scale) -> String {
                 "MISMATCH"
             }
         ));
+        ctrl_records.push(BenchRecord {
+            bench: format!("issue_path/{}", r.workload),
+            ns_per_op: Some(r.indexed_secs * 1e9 / r.instructions as f64),
+            ips: None,
+            speedup: r.speedup(),
+            git: git.clone(),
+        });
     }
+    let ctrl_geomean = (log_sum / rows.len() as f64).exp();
+    out.push_str(&format!("geomean speedup: {ctrl_geomean:.2}x\n"));
+    ctrl_records.push(BenchRecord {
+        bench: "issue_path/geomean".to_owned(),
+        ns_per_op: None,
+        ips: None,
+        speedup: ctrl_geomean,
+        git: git.clone(),
+    });
+
+    eprintln!("timing cycle vs fast-forward system loops on {workloads:?} (uncached)...");
+    let rows = compare_system_loops(&workloads, WritePolicy::be_mellow_sc(), scale)
+        .expect("perf workloads are Table IV presets");
+    out.push_str("\n== system tick-loop wall clock (cycle vs fast-forward, be_mellow_sc) ==\n");
     out.push_str(&format!(
-        "geomean speedup: {:.2}x\n",
-        (log_sum / rows.len() as f64).exp()
+        "{:<12} {:>10} {:>9} {:>9} {:>11} {:>8}  {}\n",
+        "workload", "instr", "cycle s", "fast s", "fast ips", "speedup", "metrics"
     ));
+    let mut log_sum = 0.0;
+    let mut sys_records = Vec::new();
+    for r in &rows {
+        log_sum += r.speedup().ln();
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>9.3} {:>9.3} {:>11.0} {:>7.2}x  {}\n",
+            r.workload,
+            r.instructions,
+            r.cycle_secs,
+            r.fast_secs,
+            r.fast_ips(),
+            r.speedup(),
+            if r.metrics_match {
+                "identical"
+            } else {
+                "MISMATCH"
+            }
+        ));
+        sys_records.push(BenchRecord {
+            bench: format!("run_instructions/{}", r.workload),
+            ns_per_op: None,
+            ips: Some(r.fast_ips()),
+            speedup: r.speedup(),
+            git: git.clone(),
+        });
+    }
+    let sys_geomean = (log_sum / rows.len() as f64).exp();
+    out.push_str(&format!("geomean speedup: {sys_geomean:.2}x\n"));
+    sys_records.push(BenchRecord {
+        bench: "run_instructions/geomean".to_owned(),
+        ns_per_op: None,
+        ips: None,
+        speedup: sys_geomean,
+        git: git.clone(),
+    });
+
+    eprintln!("timing run_instructions microbench (20k instructions, scaled caches)...");
+    let rows = microbench_system_loops(&["gups", "stream"], 10)
+        .expect("microbench workloads are Table IV presets");
+    out.push_str("\n== run_instructions microbench (20k instructions, 64 KiB LLC) ==\n");
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>11} {:>8}  {}\n",
+        "workload", "cycle ns", "fast ns", "fast ips", "speedup", "metrics"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<12} {:>12.0} {:>12.0} {:>11.0} {:>7.2}x  {}\n",
+            r.workload,
+            r.cycle_secs * 1e9,
+            r.fast_secs * 1e9,
+            r.fast_ips(),
+            r.speedup(),
+            if r.metrics_match {
+                "identical"
+            } else {
+                "MISMATCH"
+            }
+        ));
+        sys_records.push(BenchRecord {
+            bench: format!("run_instructions_20k/{}", r.workload),
+            ns_per_op: Some(r.fast_secs * 1e9 / r.instructions as f64),
+            ips: Some(r.fast_ips()),
+            speedup: r.speedup(),
+            git: git.clone(),
+        });
+    }
+
+    for (file, records) in [
+        ("BENCH_controller.json", &ctrl_records),
+        ("BENCH_system.json", &sys_records),
+    ] {
+        let path = repo_root().join(file);
+        match append_records(&path, records) {
+            Ok(total) => out.push_str(&format!(
+                "recorded {} measurements in {file} ({total} total)\n",
+                records.len()
+            )),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
     out
 }

@@ -637,7 +637,7 @@ pub fn calibrate(scale: Scale, settings: &SweepSettings) -> String {
 }
 
 /// Ablation — sensitivity of the reproduction's own design knobs (the
-/// deviations documented in DESIGN.md §7): the write-cancellation
+/// deviations documented in DESIGN.md §8): the write-cancellation
 /// completion threshold and retry cap, the Eager Mellow queue depth,
 /// and the cancelled-write wear-charging policy.
 pub fn ablate(scale: Scale, settings: &SweepSettings) -> String {

@@ -24,8 +24,12 @@ pub mod figures;
 mod runner;
 mod store;
 mod sweep;
+pub mod trajectory;
 
-pub use runner::{compare_issue_paths, try_experiment_for, MatrixKey, PathComparison, Scale};
+pub use runner::{
+    compare_issue_paths, compare_system_loops, microbench_system_loops, try_experiment_for,
+    LoopComparison, MatrixKey, PathComparison, Scale,
+};
 #[allow(deprecated)]
 pub use runner::{experiment_for, run_matrix};
 pub use store::{CellKey, ResultStore, StoreError};

@@ -1,0 +1,147 @@
+//! Machine-readable performance trajectories.
+//!
+//! `figures perf` appends one record per benchmark to
+//! `BENCH_system.json` and `BENCH_controller.json` at the repository
+//! root. Each file holds a JSON array of [`BenchRecord`] objects, so
+//! the history of simulator wall-clock performance survives across
+//! commits and can be plotted or diffed without re-running old builds.
+
+use mellow_engine::json::Json;
+use std::path::{Path, PathBuf};
+
+/// One benchmark measurement destined for a `BENCH_*.json` trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark identifier, e.g. `run_instructions/gups`.
+    pub bench: String,
+    /// Nanoseconds per operation, for microbench-style records.
+    pub ns_per_op: Option<f64>,
+    /// Simulated instructions per wall-clock second, for end-to-end
+    /// records.
+    pub ips: Option<f64>,
+    /// Speedup of the optimized path over its reference oracle.
+    pub speedup: f64,
+    /// `git describe --always --dirty` at measurement time.
+    pub git: String,
+}
+
+impl BenchRecord {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("bench".to_owned(), Json::from(self.bench.as_str()))];
+        if let Some(ns) = self.ns_per_op {
+            fields.push(("ns_per_op".to_owned(), Json::from(ns)));
+        }
+        if let Some(ips) = self.ips {
+            fields.push(("ips".to_owned(), Json::from(ips)));
+        }
+        fields.push(("speedup".to_owned(), Json::from(self.speedup)));
+        fields.push(("git".to_owned(), Json::from(self.git.as_str())));
+        Json::Obj(fields)
+    }
+}
+
+/// The current `git describe --always --dirty`, or `"unknown"` when
+/// git is unavailable (e.g. a source tarball).
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .current_dir(repo_root())
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// The repository root (the trajectories live beside `Cargo.lock`, not
+/// inside the bench crate, so they are easy to find and to upload as
+/// CI artifacts).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Appends `records` to the JSON-array trajectory at `path`, creating
+/// the file if missing and tolerating a corrupt or non-array existing
+/// file (it is restarted rather than poisoning the run). Returns the
+/// total record count after the append.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the final write fails.
+pub fn append_records(path: &Path, records: &[BenchRecord]) -> std::io::Result<usize> {
+    let mut all = match std::fs::read_to_string(path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(Json::Arr(items)) => items,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    all.extend(records.iter().map(BenchRecord::to_json));
+    let count = all.len();
+    std::fs::write(path, format!("{}\n", Json::Arr(all)))?;
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(bench: &str, speedup: f64) -> BenchRecord {
+        BenchRecord {
+            bench: bench.to_owned(),
+            ns_per_op: Some(125.5),
+            ips: None,
+            speedup,
+            git: "abc1234".to_owned(),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_and_append() {
+        let path = std::env::temp_dir().join(format!("bench-traj-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(append_records(&path, &[record("a", 3.5)]).unwrap(), 1);
+        assert_eq!(append_records(&path, &[record("b", 1.25)]).unwrap(), 2);
+
+        let parsed = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let Json::Arr(items) = parsed else {
+            panic!("trajectory is not an array")
+        };
+        assert_eq!(items.len(), 2);
+        let text = items[1].to_string();
+        assert!(text.contains("\"bench\""), "missing bench field: {text}");
+        assert!(text.contains("1.25"), "missing speedup: {text}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_trajectory_restarts_instead_of_failing() {
+        let path = std::env::temp_dir().join(format!("bench-corrupt-{}.json", std::process::id()));
+        std::fs::write(&path, "not json at all").unwrap();
+        assert_eq!(append_records(&path, &[record("a", 2.0)]).unwrap(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn optional_fields_are_omitted_when_absent() {
+        let json = BenchRecord {
+            bench: "x".to_owned(),
+            ns_per_op: None,
+            ips: Some(1.0e6),
+            speedup: 4.0,
+            git: "unknown".to_owned(),
+        }
+        .to_json()
+        .to_string();
+        assert!(!json.contains("ns_per_op"));
+        assert!(json.contains("ips"));
+    }
+
+    #[test]
+    fn repo_root_contains_workspace_manifest() {
+        assert!(repo_root().join("Cargo.toml").exists());
+    }
+}

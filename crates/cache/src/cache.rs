@@ -307,6 +307,78 @@ impl Cache {
         self.input.is_empty()
     }
 
+    /// Returns `true` when the input queue is full, i.e. the next
+    /// `try_demand`/`try_fetch`/`try_writeback` will be rejected.
+    pub fn input_full(&self) -> bool {
+        self.input.len() >= self.cfg.input_capacity
+    }
+
+    /// The cache's next-event hook for the system's fast-forward loop:
+    /// the earliest time a future [`tick`](Self::tick) could change
+    /// state, or `None` when no future tick can act without new input —
+    /// the input queue is empty, or its head is stalled on a full MSHR
+    /// file (a stall only a [`deliver_fill`](Self::deliver_fill) can
+    /// clear, during which each tick is the batchable no-op applied by
+    /// [`fast_forward_stalled`](Self::fast_forward_stalled)).
+    ///
+    /// A returned time at or before `now` means the cache still has due
+    /// work (e.g. its per-tick port budget ran out) and must be ticked
+    /// every cycle.
+    pub fn next_event(&self, now: SimTime) -> Option<SimTime> {
+        let head = self.input.front()?;
+        if self.head_stalled_on_mshrs(now) {
+            return None;
+        }
+        Some(head.ready)
+    }
+
+    /// Returns `true` when the input head is due but cannot proceed
+    /// because the MSHR file is full (the state in which `tick` counts
+    /// one `mshr_stall_ticks` per cycle and changes nothing else).
+    pub fn head_stalled_on_mshrs(&self, now: SimTime) -> bool {
+        let Some(head) = self.input.front() else {
+            return false;
+        };
+        if head.ready > now {
+            return false;
+        }
+        match head.msg {
+            Incoming::Demand { line, .. } => {
+                let (set_idx, tag) = self.set_and_tag(line);
+                self.sets[set_idx].probe(tag).is_none()
+                    && !self.mshrs.contains(line)
+                    && self.mshrs.is_full()
+            }
+            Incoming::Writeback { .. } => false,
+        }
+    }
+
+    /// Batch-applies `ticks` ticks spent MSHR-stalled (see
+    /// [`head_stalled_on_mshrs`](Self::head_stalled_on_mshrs)): each
+    /// counts one stall tick and changes nothing else.
+    pub fn fast_forward_stalled(&mut self, ticks: u64) {
+        self.stats.mshr_stall_ticks += ticks;
+    }
+
+    /// Batch-applies `ticks` rejected input offers (one per tick, as an
+    /// upstream requester retrying against a full input queue produces):
+    /// each counts one rejection and changes nothing else.
+    pub fn fast_forward_rejected_inputs(&mut self, ticks: u64) {
+        debug_assert!(self.input_full(), "rejects replayed on a non-full queue");
+        self.stats.input_rejects += ticks;
+    }
+
+    /// Returns `true` while any output queue (completions, fills up,
+    /// misses down, writebacks down) holds an undelivered message — the
+    /// owner retries those transfers every cycle, so the cache cannot be
+    /// skipped over.
+    pub fn has_pending_transfers(&self) -> bool {
+        !(self.completions.is_empty()
+            && self.fills_up.is_empty()
+            && self.miss_down.is_empty()
+            && self.wb_down.is_empty())
+    }
+
     #[inline]
     fn set_and_tag(&self, line: u64) -> (usize, u64) {
         ((line % self.num_sets) as usize, line / self.num_sets)
@@ -858,5 +930,123 @@ mod tests {
     fn unexpected_fill_panics() {
         let mut c = Cache::new(tiny_cfg());
         c.deliver_fill(1, SimTime::ZERO);
+    }
+
+    #[test]
+    fn next_event_reports_head_ready_then_stall() {
+        let mut c = Cache::new(tiny_cfg()); // 1 ns hit latency, 2 MSHRs
+        assert_eq!(c.next_event(SimTime::ZERO), None, "empty input");
+        assert!(!c.head_stalled_on_mshrs(SimTime::ZERO));
+
+        c.try_demand(AccessId(1), 1, false, SimTime::ZERO);
+        assert_eq!(c.next_event(SimTime::ZERO), Some(SimTime::from_ns(1)));
+
+        // Fill the MSHR file, then queue a third miss: once its latency
+        // elapses the head is stably stalled.
+        c.try_demand(AccessId(2), 2, false, SimTime::ZERO);
+        c.try_demand(AccessId(3), 3, false, SimTime::ZERO);
+        run(&mut c, 5);
+        assert!(c.head_stalled_on_mshrs(SimTime::from_ns(5)));
+        assert_eq!(c.next_event(SimTime::from_ns(5)), None);
+        // Before the head's latency elapses it is not a stall.
+        assert!(!c.head_stalled_on_mshrs(SimTime::ZERO));
+
+        // A fill clears the stall: the head becomes an ordinary event.
+        c.deliver_fill(1, SimTime::from_ns(6));
+        assert!(!c.head_stalled_on_mshrs(SimTime::from_ns(6)));
+        assert!(c.next_event(SimTime::from_ns(6)).is_some());
+    }
+
+    #[test]
+    fn fast_forward_stall_matches_ticked_stalls() {
+        let mk = || {
+            let mut c = Cache::new(tiny_cfg());
+            c.try_demand(AccessId(1), 1, false, SimTime::ZERO);
+            c.try_demand(AccessId(2), 2, false, SimTime::ZERO);
+            c.try_demand(AccessId(3), 3, false, SimTime::ZERO);
+            run(&mut c, 5);
+            while c.pop_miss_down().is_some() {}
+            c
+        };
+        let mut ticked = mk();
+        let mut jumped = mk();
+        assert!(ticked.head_stalled_on_mshrs(SimTime::from_ns(5)));
+        for _ in 0..42 {
+            ticked.tick(SimTime::from_ns(5));
+        }
+        jumped.fast_forward_stalled(42);
+        assert_eq!(ticked.stats(), jumped.stats());
+    }
+
+    #[test]
+    fn pending_transfers_tracks_output_queues() {
+        let mut c = Cache::new(tiny_cfg());
+        assert!(!c.has_pending_transfers());
+        c.try_demand(AccessId(1), 100, false, SimTime::ZERO);
+        run(&mut c, 2);
+        assert!(c.has_pending_transfers(), "miss queued downward");
+        c.pop_miss_down();
+        assert!(!c.has_pending_transfers());
+        c.deliver_fill(100, SimTime::from_ns(3));
+        assert!(c.has_pending_transfers(), "completion queued upward");
+        c.pop_completion();
+        assert!(!c.has_pending_transfers());
+    }
+
+    #[test]
+    fn input_full_matches_rejection_and_replay() {
+        let mut c = Cache::new(tiny_cfg()); // capacity 4
+        for i in 0..4 {
+            assert!(!c.input_full());
+            c.try_demand(AccessId(i), i, false, SimTime::ZERO);
+        }
+        assert!(c.input_full());
+        // One retry per cycle against a full queue, batched vs ticked.
+        assert!(!c.try_demand(AccessId(9), 9, false, SimTime::ZERO));
+        c.fast_forward_rejected_inputs(10);
+        assert_eq!(c.stats().input_rejects, 11);
+    }
+
+    /// Pins the RNG contract the fast-forward batch replay depends on:
+    /// each idle-LLC probe draws exactly one `below(num_sets)` value
+    /// when the monitor has useless positions, and none at all when
+    /// `eager_position == assoc`.
+    #[test]
+    fn eager_probe_draw_count_is_exact() {
+        let mut c = Cache::new(tiny_cfg());
+        c.enable_eager();
+
+        // Fresh monitor: eager_position == assoc, so a probe must not
+        // touch the generator.
+        let mut rng = DetRng::seed_from(7);
+        let mut untouched = rng.clone();
+        for _ in 0..5 {
+            assert!(c.eager_candidate(&mut rng).is_none());
+        }
+        assert_eq!(rng.next_u64(), untouched.next_u64());
+
+        // Train an all-miss profile so everything becomes useless.
+        for i in 0..100u64 {
+            let line = 1000 + 16 * i;
+            c.try_demand(AccessId(99), line, false, SimTime::from_ns(5));
+            run(&mut c, 7);
+            if c.pop_miss_down().is_some() {
+                c.deliver_fill(line, SimTime::from_ns(8));
+            }
+            c.pop_completion();
+        }
+        assert_eq!(c.sample_utility(), Some(0));
+
+        // Now every probe — hit or not — draws exactly one set index.
+        let mut rng = DetRng::seed_from(7);
+        let mut replay = rng.clone();
+        let num_sets = c.config().num_sets();
+        for _ in 0..64 {
+            let _ = c.eager_candidate(&mut rng);
+        }
+        for _ in 0..64 {
+            replay.below(num_sets);
+        }
+        assert_eq!(rng.next_u64(), replay.next_u64());
     }
 }

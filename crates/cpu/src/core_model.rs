@@ -40,6 +40,30 @@ impl Default for CoreConfig {
     }
 }
 
+/// What a [`Core::tick`] would do in the core's current state — the
+/// core's next-event hook for the system's fast-forward loop.
+///
+/// The core is self-clocked (it has no scheduled future events), so its
+/// contract is a state classification rather than a time: `Active`
+/// means "I act every cycle, do not skip"; the `Blocked` variants mean
+/// "until [`Core::complete`] is called, every tick is the same no-op,
+/// batchable via [`Core::fast_forward`]".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreStall {
+    /// The core would retire, dispatch, or issue something this cycle
+    /// (or its state is not provably stable); it must be ticked.
+    Active,
+    /// ROB full, head blocked on an outstanding load, no memory op
+    /// issueable: a tick only counts a blocked cycle.
+    Blocked,
+    /// As [`Blocked`](Self::Blocked), except one issueable memory op
+    /// re-attempts issue every cycle. The owner decides whether that
+    /// attempt is a batchable no-op (the L1 input queue is full, so the
+    /// attempt is rejected without touching core state) or real
+    /// progress.
+    BlockedWantsIssue,
+}
+
 /// Counters exposed by the core.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
@@ -275,6 +299,54 @@ impl Core {
                 earlier_incomplete |= *state != MemState::Done;
             }
         }
+    }
+
+    /// Classifies the core's current state for the fast-forward loop
+    /// (see [`CoreStall`]).
+    ///
+    /// The classification is conservative: anything not provably a
+    /// stable no-op reports `Active`.
+    pub fn stall(&self) -> CoreStall {
+        if self.rob_insts < self.cfg.rob_entries {
+            return CoreStall::Active; // dispatch would make progress
+        }
+        match self.rob.front() {
+            // Retirement is blocked on an outstanding load (the only
+            // head state `retire` counts as blocked and that only an
+            // external `complete` can clear).
+            Some(Entry::Mem {
+                is_store: false,
+                state,
+                ..
+            }) if *state != MemState::Done => {}
+            _ => return CoreStall::Active,
+        }
+        // Mirror `issue_ready`: find the first Waiting op that would
+        // attempt issue this cycle.
+        let mut earlier_incomplete = false;
+        for entry in &self.rob {
+            if let Entry::Mem { depends, state, .. } = entry {
+                if *state == MemState::Waiting && !(*depends && earlier_incomplete) {
+                    return CoreStall::BlockedWantsIssue;
+                }
+                earlier_incomplete |= *state != MemState::Done;
+            }
+        }
+        CoreStall::Blocked
+    }
+
+    /// Batch-applies `cycles` ticks spent in a [`CoreStall::Blocked`]
+    /// or [`CoreStall::BlockedWantsIssue`] state: each such tick
+    /// advances the cycle counter and counts one head-blocked cycle,
+    /// and changes nothing else.
+    pub fn fast_forward(&mut self, cycles: u64) {
+        debug_assert_ne!(
+            self.stall(),
+            CoreStall::Active,
+            "fast_forward of an active core"
+        );
+        self.stats.cycles += cycles;
+        self.stats.head_blocked_cycles += cycles;
     }
 
     /// Marks the access `id` complete (a load's data arrived, or a
@@ -540,6 +612,77 @@ mod tests {
             core.tick(|_| true);
         }
         assert!(core.retired_instructions() > 300);
+    }
+
+    #[test]
+    fn stall_classification_tracks_rob_state() {
+        let trace = Cycle::new(vec![TraceRecord {
+            nonmem: 0,
+            op: Some(MemOp::load(64)),
+        }]);
+        let mut core = Core::new(CoreConfig::default(), Box::new(trace));
+        assert_eq!(core.stall(), CoreStall::Active, "empty ROB dispatches");
+
+        // Accept every access: the ROB fills with Issued loads that
+        // never complete — fully blocked.
+        for _ in 0..200 {
+            core.tick(|_| true);
+        }
+        assert_eq!(core.rob_occupancy(), 192);
+        assert_eq!(core.stall(), CoreStall::Blocked);
+
+        // Reject every access: the ROB fills with Waiting loads that
+        // re-attempt issue each cycle.
+        let trace = Cycle::new(vec![TraceRecord {
+            nonmem: 0,
+            op: Some(MemOp::load(64)),
+        }]);
+        let mut core = Core::new(CoreConfig::default(), Box::new(trace));
+        for _ in 0..200 {
+            core.tick(|_| false);
+        }
+        assert_eq!(core.rob_occupancy(), 192);
+        assert_eq!(core.stall(), CoreStall::BlockedWantsIssue);
+    }
+
+    #[test]
+    fn dependent_waiting_ops_do_not_want_issue() {
+        // Head load issued, everything behind it dependent: the core is
+        // fully blocked even though Waiting entries exist.
+        let trace = Cycle::new(vec![TraceRecord {
+            nonmem: 0,
+            op: Some(MemOp::load(64).dependent()),
+        }]);
+        let mut core = Core::new(CoreConfig::default(), Box::new(trace));
+        for _ in 0..200 {
+            core.tick(|_| true); // only the head chain issues
+        }
+        assert_eq!(core.rob_occupancy(), 192);
+        assert_eq!(core.stall(), CoreStall::Blocked);
+    }
+
+    #[test]
+    fn fast_forward_matches_blocked_ticks() {
+        let mk = || {
+            let trace = Cycle::new(vec![TraceRecord {
+                nonmem: 0,
+                op: Some(MemOp::load(64)),
+            }]);
+            let mut core = Core::new(CoreConfig::default(), Box::new(trace));
+            for _ in 0..200 {
+                core.tick(|_| true);
+            }
+            core
+        };
+        let mut ticked = mk();
+        let mut jumped = mk();
+        assert_eq!(ticked.stall(), CoreStall::Blocked);
+        for _ in 0..137 {
+            ticked.tick(|_| unreachable!("blocked core issues nothing"));
+        }
+        jumped.fast_forward(137);
+        assert_eq!(ticked.stats(), jumped.stats());
+        assert_eq!(ticked.stall(), jumped.stall());
     }
 
     #[test]

@@ -43,5 +43,5 @@
 mod core_model;
 mod trace;
 
-pub use core_model::{Core, CoreConfig, CoreStats, MemAccess, ReqId};
+pub use core_model::{Core, CoreConfig, CoreStall, CoreStats, MemAccess, ReqId};
 pub use trace::{MemOp, TraceRecord, TraceSource};

@@ -455,6 +455,35 @@ impl Controller {
         self.next_actionable = SimTime::ZERO;
     }
 
+    /// The controller's next-event hook for the system's fast-forward
+    /// loop: the earliest time a future [`tick`](Self::tick) could do
+    /// more than rotate the round-robin origin, or `None` when no
+    /// future tick can act without new input (every `try_read`/
+    /// `try_write`/`try_eager` resets the horizon to `ZERO`).
+    ///
+    /// A returned time at or before `now` — including `ZERO` while
+    /// completed reads await draining — means the controller must be
+    /// ticked at every memory-clock edge. Skipped idle edges must be
+    /// replayed with [`fast_forward_idle`](Self::fast_forward_idle).
+    pub fn next_event(&self) -> Option<SimTime> {
+        if !self.read_done.is_empty() {
+            return Some(SimTime::ZERO);
+        }
+        if self.next_actionable == SimTime::MAX {
+            None
+        } else {
+            Some(self.next_actionable)
+        }
+    }
+
+    /// Batch-applies `edges` skipped memory-clock edges on which
+    /// `tick`'s fast path would have run: each rotates the round-robin
+    /// origin once and changes nothing else.
+    pub fn fast_forward_idle(&mut self, edges: u64) {
+        let n = self.banks.len() as u64;
+        self.rr_start = ((self.rr_start as u64 + edges % n) % n) as usize;
+    }
+
     /// Removes and returns the next completed read's line address.
     pub fn pop_read_done(&mut self) -> Option<u64> {
         self.read_done.pop_front()
@@ -1000,5 +1029,44 @@ impl Controller {
             self.next_period_at = now + qc.sample_period;
         }
         self.next_actionable = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mellow_core::WritePolicy;
+    use mellow_nvm::{CancelWear, EnduranceModel};
+
+    #[test]
+    fn fast_forward_idle_matches_ticked_fast_path() {
+        let mk = || {
+            let mut cfg = MemConfig::paper_default();
+            cfg.capacity_bytes = 1 << 26;
+            let mut c = Controller::new(
+                cfg,
+                WritePolicy::norm(),
+                EnduranceModel::reram_default(),
+                CancelWear::Prorated,
+            );
+            // Park the horizon in the future so every tick takes the
+            // fast path (rotate round-robin, nothing else).
+            c.next_actionable = SimTime::MAX;
+            c
+        };
+        for edges in [0u64, 1, 15, 16, 17, 1_000_003] {
+            let mut ticked = mk();
+            let mut jumped = mk();
+            for i in 0..edges.min(10_000) {
+                ticked.tick(SimTime::from_ps(i * 2500));
+            }
+            jumped.fast_forward_idle(edges.min(10_000));
+            assert_eq!(ticked.rr_start, jumped.rr_start, "{edges} edges");
+        }
+        // Rotation is modular, so huge skips need no iteration at all.
+        let mut far = mk();
+        far.fast_forward_idle(1_000_003);
+        let banks = far.banks.len() as u64;
+        assert_eq!(far.rr_start as u64, 1_000_003 % banks);
     }
 }

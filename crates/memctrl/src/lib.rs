@@ -618,6 +618,31 @@ mod tests {
     }
 
     #[test]
+    fn next_event_exposes_actionable_horizon() {
+        let mut c = ctrl(WritePolicy::norm());
+        // A fresh controller must be ticked at the next edge.
+        assert_eq!(c.next_event(), Some(SimTime::ZERO));
+        // With nothing queued, a tick proves no future edge can act.
+        c.tick(SimTime::ZERO);
+        assert_eq!(c.next_event(), None);
+        // New input resets the horizon...
+        assert!(c.try_read(0, SimTime::from_ps(MEM_CYCLE_PS)));
+        assert_eq!(c.next_event(), Some(SimTime::ZERO));
+        // ...and once the read is issued, the horizon points into the
+        // future (the bank's completion), so idle edges can be skipped.
+        c.tick(SimTime::from_ps(MEM_CYCLE_PS));
+        let horizon = c.next_event().expect("read in flight");
+        assert!(
+            horizon > SimTime::from_ps(MEM_CYCLE_PS),
+            "horizon {horizon:?}"
+        );
+        // An undrained completed read pins the controller to `ZERO`.
+        run(&mut c, 2, 80);
+        assert_eq!(c.next_event(), Some(SimTime::ZERO));
+        assert_eq!(c.pop_read_done(), Some(0));
+    }
+
+    #[test]
     fn read_queue_rejects_when_full() {
         let mut c = ctrl(WritePolicy::norm());
         let mut accepted = 0;

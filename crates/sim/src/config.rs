@@ -35,6 +35,12 @@ pub struct SystemConfig {
     /// lifetime model). Costs one `f64` per memory block — only enable
     /// on small-capacity configurations.
     pub track_block_wear: bool,
+    /// Drive [`System::run_instructions`](crate::System) with the
+    /// legacy one-cycle-at-a-time loop instead of the event-driven
+    /// fast-forward loop. The two produce bit-identical results (the
+    /// equivalence tests assert it); the cycle loop survives as the
+    /// reference oracle, like `MemConfig::use_scan_queues`.
+    pub use_cycle_loop: bool,
 }
 
 impl SystemConfig {
@@ -60,6 +66,7 @@ impl SystemConfig {
             cancel_wear: CancelWear::Prorated,
             seed: 0xC0FFEE,
             track_block_wear: false,
+            use_cycle_loop: false,
         }
     }
 

@@ -296,6 +296,38 @@ fn indexed_and_scan_queue_paths_produce_identical_metrics() {
 }
 
 #[test]
+fn cycle_and_fast_forward_loops_produce_identical_metrics() {
+    // The event-driven fast-forward loop must be a pure performance
+    // optimization: on every Table IV workload, a full system run
+    // produces a bit-identical metrics row (stats, wear, energy, IPC)
+    // to the legacy one-cycle-at-a-time loop
+    // (`SystemConfig::use_cycle_loop`). The policy exercises every
+    // replayed per-cycle effect at once: eager probing (RNG draws),
+    // wear-quota periods, slow writes, and cancellation.
+    for w in WorkloadSpec::names() {
+        let row = |cycle_loop: bool| {
+            let mut spec = WorkloadSpec::by_name(&w).unwrap();
+            spec.avg_interval = (spec.avg_interval / 8.0).max(2.0);
+            spec.working_set_bytes = spec.working_set_bytes.min(16 << 20);
+            Experiment::with_spec(spec, WritePolicy::be_mellow_sc().with_wear_quota())
+                .warmup(30_000)
+                .instructions(50_000)
+                .configure(move |c| {
+                    c.l1.size_bytes = 4 << 10;
+                    c.l2.size_bytes = 16 << 10;
+                    c.llc.size_bytes = 64 << 10;
+                    c.mem.sample_period = Duration::from_us(10);
+                    c.use_cycle_loop = cycle_loop;
+                })
+                .run()
+                .to_json()
+                .to_string()
+        };
+        assert_eq!(row(true), row(false), "{w}: tick loops diverge");
+    }
+}
+
+#[test]
 fn per_block_ground_truth_consistent_with_aggregate_model() {
     use mellow_writes::nvm::LifetimeModel;
 

@@ -310,4 +310,41 @@ proptest! {
         };
         prop_assert_eq!(run(true), run(false));
     }
+
+    /// The event-driven fast-forward system loop reproduces the legacy
+    /// cycle loop bit for bit for any Table IV workload, policy, and
+    /// seed (`SystemConfig::use_cycle_loop` is the oracle).
+    #[test]
+    fn system_tick_loops_equivalent(
+        policy in arb_policy(),
+        wl in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        use mellow_writes::sim::Experiment;
+        use mellow_writes::workloads::WorkloadSpec;
+
+        let names = WorkloadSpec::names();
+        let name = names[wl % names.len()].clone();
+        let run = |cycle_loop: bool| {
+            let mut spec = WorkloadSpec::by_name(&name).unwrap();
+            spec.avg_interval = (spec.avg_interval / 8.0).max(2.0);
+            spec.working_set_bytes = spec.working_set_bytes.min(8 << 20);
+            Experiment::with_spec(spec, policy)
+                .warmup(2_000)
+                .instructions(4_000)
+                .seed(seed)
+                .configure(move |c| {
+                    c.l1.size_bytes = 4 << 10;
+                    c.l2.size_bytes = 16 << 10;
+                    c.llc.size_bytes = 64 << 10;
+                    c.mem.capacity_bytes = 1 << 24;
+                    c.mem.sample_period = Duration::from_us(2);
+                    c.use_cycle_loop = cycle_loop;
+                })
+                .run()
+                .to_json()
+                .to_string()
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
 }
