@@ -16,7 +16,7 @@
 
 use mellow_engine::json::Json;
 use mellow_sim::{Experiment, Metrics};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
@@ -100,6 +100,11 @@ impl std::error::Error for StoreError {}
 /// was killed mid-write — are skipped on load, so an interrupted sweep
 /// resumes from its last complete cell.
 ///
+/// Rows live in a `BTreeMap`, and [`compact`](Self::compact) rewrites
+/// the file in ascending key order, so a store compacted after a sweep
+/// is byte-stable: re-running the same sweep — whatever completion
+/// order its parallel workers produce — leaves an identical file.
+///
 /// # Examples
 ///
 /// ```no_run
@@ -121,8 +126,13 @@ impl std::error::Error for StoreError {}
 pub struct ResultStore {
     path: PathBuf,
     file: File,
-    rows: HashMap<u64, Metrics>,
+    /// Sorted so iteration (and therefore [`compact`](Self::compact))
+    /// is deterministic regardless of insertion order.
+    rows: BTreeMap<u64, Metrics>,
     skipped_lines: usize,
+    /// Whether the on-disk bytes may deviate from the canonical
+    /// (sorted, debris-free) form `compact` writes.
+    needs_compact: bool,
 }
 
 impl ResultStore {
@@ -146,16 +156,19 @@ impl ResultStore {
             .read(true)
             .open(&path)
             .map_err(|e| fail(format!("opening: {e}")))?;
-        let mut rows = HashMap::new();
+        let mut rows = BTreeMap::new();
         let mut skipped_lines = 0;
+        let mut disk_keys = Vec::new();
         let reader = BufReader::new(file.try_clone().map_err(|e| fail(e.to_string()))?);
         for line in reader.lines() {
             let line = line.map_err(|e| fail(format!("reading: {e}")))?;
             if line.trim().is_empty() {
+                skipped_lines += 1;
                 continue;
             }
             match Self::parse_line(&line) {
                 Some((key, metrics)) => {
+                    disk_keys.push(key);
                     rows.insert(key, metrics);
                 }
                 // A malformed line is almost always the tail of a killed
@@ -163,11 +176,15 @@ impl ResultStore {
                 None => skipped_lines += 1,
             }
         }
+        // Already canonical only if the lines were strictly ascending
+        // (sorted, no duplicates) with no debris.
+        let needs_compact = skipped_lines > 0 || disk_keys.windows(2).any(|w| w[0] >= w[1]);
         Ok(ResultStore {
             path,
             file,
             rows,
             skipped_lines,
+            needs_compact,
         })
     }
 
@@ -198,7 +215,50 @@ impl ResultStore {
                 message: format!("appending: {e}"),
             })?;
         self.rows.insert(key.0, metrics.clone());
+        self.needs_compact = true;
         Ok(())
+    }
+
+    /// Rewrites the file with every row in ascending key order (and no
+    /// truncated-line debris), so that two stores holding the same rows
+    /// are byte-identical however their sweeps interleaved. Returns
+    /// `true` when the file was rewritten, `false` when it was already
+    /// canonical.
+    ///
+    /// The rewrite goes through a temp file renamed over the original,
+    /// so a kill mid-compact leaves either the old or the new file,
+    /// never a torn one.
+    pub fn compact(&mut self) -> Result<bool, StoreError> {
+        if !self.needs_compact {
+            return Ok(false);
+        }
+        let fail = |message: String| StoreError {
+            path: self.path.clone(),
+            message,
+        };
+        let tmp = self.path.with_extension("jsonl.tmp");
+        let mut out = File::create(&tmp).map_err(|e| fail(format!("creating temp: {e}")))?;
+        for (key, metrics) in &self.rows {
+            let line = format!(
+                "{{\"key\": \"{}\", \"metrics\": {}}}\n",
+                CellKey(*key),
+                metrics.to_json()
+            );
+            out.write_all(line.as_bytes())
+                .map_err(|e| fail(format!("writing temp: {e}")))?;
+        }
+        out.flush()
+            .map_err(|e| fail(format!("flushing temp: {e}")))?;
+        drop(out);
+        std::fs::rename(&tmp, &self.path).map_err(|e| fail(format!("replacing: {e}")))?;
+        // The old append handle points at the replaced inode; reopen so
+        // later inserts land in the new file.
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| fail(format!("reopening: {e}")))?;
+        self.needs_compact = false;
+        Ok(true)
     }
 
     /// Number of cached rows.
@@ -290,6 +350,80 @@ mod tests {
         assert_eq!(store.len(), 1);
         assert_eq!(store.skipped_lines(), 1);
         assert!(store.get(&key).is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_sorts_rows_and_is_byte_stable() {
+        let path_a = temp_store("compact-a");
+        let path_b = temp_store("compact-b");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        let cells: Vec<(CellKey, Metrics)> = ["lbm", "gups", "stream"]
+            .iter()
+            .map(|w| {
+                let e = try_experiment_for(w, WritePolicy::norm(), Scale::quick()).unwrap();
+                (CellKey::for_experiment(&e), tiny_metrics(w))
+            })
+            .collect();
+        // Two stores fed the same rows in different (worker-completion)
+        // orders must end up byte-identical once compacted.
+        {
+            let mut a = ResultStore::open(&path_a).unwrap();
+            let mut b = ResultStore::open(&path_b).unwrap();
+            for (k, m) in &cells {
+                a.insert(k, m).unwrap();
+            }
+            for (k, m) in cells.iter().rev() {
+                b.insert(k, m).unwrap();
+            }
+            assert!(a.compact().unwrap());
+            assert!(b.compact().unwrap());
+            assert!(!a.compact().unwrap(), "second compact is a no-op");
+        }
+        let bytes_a = std::fs::read(&path_a).unwrap();
+        let bytes_b = std::fs::read(&path_b).unwrap();
+        assert!(!bytes_a.is_empty());
+        assert_eq!(bytes_a, bytes_b, "insertion order leaked into the file");
+        // Keys on disk are ascending, and reloading preserves the rows.
+        let reloaded = ResultStore::open(&path_a).unwrap();
+        assert_eq!(reloaded.len(), cells.len());
+        for (k, m) in &cells {
+            assert_eq!(reloaded.get(k).unwrap().ipc.to_bits(), m.ipc.to_bits());
+        }
+        assert!(
+            !reloaded.needs_compact,
+            "compacted file reloads as canonical"
+        );
+        std::fs::remove_file(&path_a).unwrap();
+        std::fs::remove_file(&path_b).unwrap();
+    }
+
+    #[test]
+    fn compact_replaces_debris_and_appends_go_to_new_file() {
+        let path = temp_store("compact-debris");
+        let _ = std::fs::remove_file(&path);
+        let e1 = try_experiment_for("lbm", WritePolicy::norm(), Scale::quick()).unwrap();
+        let e2 = try_experiment_for("gups", WritePolicy::norm(), Scale::quick()).unwrap();
+        let (k1, k2) = (CellKey::for_experiment(&e1), CellKey::for_experiment(&e2));
+        let m = tiny_metrics("lbm");
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.insert(&k1, &m).unwrap();
+        }
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"key\": \"torn").unwrap();
+        drop(f);
+        let mut store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.skipped_lines(), 1);
+        assert!(store.compact().unwrap(), "debris forces a rewrite");
+        // Inserts after a compact must reach the replacement file.
+        store.insert(&k2, &m).unwrap();
+        drop(store);
+        let reloaded = ResultStore::open(&path).unwrap();
+        assert_eq!(reloaded.skipped_lines(), 0);
+        assert_eq!(reloaded.len(), 2);
+        assert!(reloaded.get(&k1).is_some() && reloaded.get(&k2).is_some());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -332,6 +332,12 @@ impl Sweep {
             });
             store_result?;
         }
+        // Leave the cache in canonical sorted-key form: whatever order
+        // the workers finished in, a re-run of the same sweep now
+        // produces a byte-identical file.
+        if let Some(store) = store.as_mut() {
+            store.compact()?;
+        }
 
         Ok(results
             .into_iter()

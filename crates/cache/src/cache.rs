@@ -2,7 +2,7 @@
 
 use crate::{AccessId, LruSet, MshrFile};
 use mellow_core::UtilityMonitor;
-use mellow_engine::{DetRng, Duration, SimTime};
+use mellow_engine::{CoreCycles, DetRng, Duration, SimTime};
 use std::collections::VecDeque;
 
 /// Static configuration of one cache level.
@@ -356,16 +356,16 @@ impl Cache {
     /// Batch-applies `ticks` ticks spent MSHR-stalled (see
     /// [`head_stalled_on_mshrs`](Self::head_stalled_on_mshrs)): each
     /// counts one stall tick and changes nothing else.
-    pub fn fast_forward_stalled(&mut self, ticks: u64) {
-        self.stats.mshr_stall_ticks += ticks;
+    pub fn fast_forward_stalled(&mut self, ticks: CoreCycles) {
+        self.stats.mshr_stall_ticks += ticks.count();
     }
 
     /// Batch-applies `ticks` rejected input offers (one per tick, as an
     /// upstream requester retrying against a full input queue produces):
     /// each counts one rejection and changes nothing else.
-    pub fn fast_forward_rejected_inputs(&mut self, ticks: u64) {
+    pub fn fast_forward_rejected_inputs(&mut self, ticks: CoreCycles) {
         debug_assert!(self.input_full(), "rejects replayed on a non-full queue");
-        self.stats.input_rejects += ticks;
+        self.stats.input_rejects += ticks.count();
     }
 
     /// Returns `true` while any output queue (completions, fills up,
@@ -974,7 +974,7 @@ mod tests {
         for _ in 0..42 {
             ticked.tick(SimTime::from_ns(5));
         }
-        jumped.fast_forward_stalled(42);
+        jumped.fast_forward_stalled(CoreCycles::new(42));
         assert_eq!(ticked.stats(), jumped.stats());
     }
 
@@ -1003,7 +1003,7 @@ mod tests {
         assert!(c.input_full());
         // One retry per cycle against a full queue, batched vs ticked.
         assert!(!c.try_demand(AccessId(9), 9, false, SimTime::ZERO));
-        c.fast_forward_rejected_inputs(10);
+        c.fast_forward_rejected_inputs(CoreCycles::new(10));
         assert_eq!(c.stats().input_rejects, 11);
     }
 

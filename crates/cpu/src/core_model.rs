@@ -1,6 +1,7 @@
 //! The ROB/issue-width-limited core model.
 
 use crate::{TraceRecord, TraceSource};
+use mellow_engine::CoreCycles;
 use std::collections::VecDeque;
 
 /// A unique identifier for an in-flight memory access issued by the core.
@@ -70,14 +71,14 @@ pub struct CoreStats {
     /// Instructions retired.
     pub retired_instructions: u64,
     /// Core cycles elapsed.
-    pub cycles: u64,
+    pub cycles: CoreCycles,
     /// Loads dispatched into the ROB.
     pub loads: u64,
     /// Stores dispatched into the ROB.
     pub stores: u64,
     /// Cycles in which the ROB head was an incomplete load (nothing
     /// retired).
-    pub head_blocked_cycles: u64,
+    pub head_blocked_cycles: CoreCycles,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,7 +169,7 @@ impl Core {
         self.retire();
         self.dispatch();
         self.issue_ready(issue);
-        self.stats.cycles += 1;
+        self.stats.cycles += CoreCycles::ONE;
     }
 
     fn retire(&mut self) {
@@ -214,7 +215,7 @@ impl Core {
             }
         }
         if !retired_any && head_blocked {
-            self.stats.head_blocked_cycles += 1;
+            self.stats.head_blocked_cycles += CoreCycles::ONE;
         }
     }
 
@@ -339,7 +340,7 @@ impl Core {
     /// or [`CoreStall::BlockedWantsIssue`] state: each such tick
     /// advances the cycle counter and counts one head-blocked cycle,
     /// and changes nothing else.
-    pub fn fast_forward(&mut self, cycles: u64) {
+    pub fn fast_forward(&mut self, cycles: CoreCycles) {
         debug_assert_ne!(
             self.stall(),
             CoreStall::Active,
@@ -381,17 +382,17 @@ impl Core {
     }
 
     /// Returns cycles elapsed so far.
-    pub fn cycles(&self) -> u64 {
+    pub fn cycles(&self) -> CoreCycles {
         self.stats.cycles
     }
 
     /// Returns instructions per cycle so far (0.0 before the first
     /// cycle).
     pub fn ipc(&self) -> f64 {
-        if self.stats.cycles == 0 {
+        if self.stats.cycles.is_zero() {
             0.0
         } else {
-            self.stats.retired_instructions as f64 / self.stats.cycles as f64
+            self.stats.retired_instructions as f64 / self.stats.cycles.as_f64()
         }
     }
 
@@ -457,7 +458,7 @@ mod tests {
         assert_eq!(core.retired_instructions(), 0);
         // ROB is full of waiting loads.
         assert_eq!(core.rob_occupancy(), 192);
-        assert!(core.stats().head_blocked_cycles > 150);
+        assert!(core.stats().head_blocked_cycles > CoreCycles::new(150));
     }
 
     #[test]
@@ -680,7 +681,7 @@ mod tests {
         for _ in 0..137 {
             ticked.tick(|_| unreachable!("blocked core issues nothing"));
         }
-        jumped.fast_forward(137);
+        jumped.fast_forward(CoreCycles::new(137));
         assert_eq!(ticked.stats(), jumped.stats());
         assert_eq!(ticked.stall(), jumped.stall());
     }

@@ -309,6 +309,24 @@ impl JsonField for f64 {
     }
 }
 
+impl JsonField for crate::CoreCycles {
+    fn to_json(&self) -> Json {
+        self.count().to_json()
+    }
+    fn from_json(v: &Json) -> Option<crate::CoreCycles> {
+        v.as_u64().map(crate::CoreCycles::new)
+    }
+}
+
+impl JsonField for crate::MemCycles {
+    fn to_json(&self) -> Json {
+        self.count().to_json()
+    }
+    fn from_json(v: &Json) -> Option<crate::MemCycles> {
+        v.as_u64().map(crate::MemCycles::new)
+    }
+}
+
 impl JsonField for bool {
     fn to_json(&self) -> Json {
         Json::Bool(*self)

@@ -4,6 +4,9 @@
 //! provides the *mechanics* every timed component in the simulator shares.
 //!
 //! - [`SimTime`] / [`Duration`] — picosecond-resolution simulation time.
+//! - [`CoreCycles`] / [`MemCycles`] — cycle counts tagged with their clock
+//!   domain, so core-cycle, memory-cycle, and picosecond quantities can
+//!   only meet through explicit conversions (enforced by `mellow-lint`).
 //! - [`Clock`] — a fixed-frequency clock domain converting between cycles
 //!   and [`SimTime`] (the simulated system mixes a 2 GHz core domain with a
 //!   400 MHz memory domain).
@@ -39,5 +42,5 @@ mod timer;
 pub use clock::Clock;
 pub use queue::BoundedQueue;
 pub use rng::DetRng;
-pub use time::{Duration, SimTime};
+pub use time::{CoreCycles, Duration, MemCycles, SimTime};
 pub use timer::TimerQueue;

@@ -4,6 +4,7 @@
 //! 400 MHz memory channel (2500 ps period), so a picosecond base unit keeps
 //! every clock edge exactly representable in an integer.
 
+use crate::Clock;
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -162,6 +163,193 @@ impl Duration {
         let scaled = self.0 as f64 * factor;
         assert!(scaled <= u64::MAX as f64, "scaled duration overflows");
         Duration(scaled.round() as u64)
+    }
+}
+
+/// Generates a clock-domain cycle-count newtype.
+///
+/// `CoreCycles` and `MemCycles` share every mechanism; only the domain
+/// (and therefore which [`Clock`] they may legally meet) differs, so
+/// the shared surface lives in one macro and domain-crossing
+/// conversions are written out explicitly below.
+macro_rules! cycle_newtype {
+    ($(#[$doc:meta])* $name:ident, $unit:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Zero cycles.
+            pub const ZERO: $name = $name(0);
+            /// One cycle.
+            pub const ONE: $name = $name(1);
+
+            /// Wraps a raw cycle count. This is the only entry point
+            /// for untyped counts; keep call sites rare and obvious.
+            #[inline]
+            pub const fn new(count: u64) -> Self {
+                $name(count)
+            }
+
+            /// Returns the raw cycle count. The explicit escape hatch
+            /// out of the domain — pair it with a comment when the
+            /// destination is another integer domain.
+            #[inline]
+            pub const fn count(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the count as `f64` for ratio arithmetic (IPC,
+            /// utilization); never for further integer time math.
+            #[inline]
+            pub fn as_f64(self) -> f64 {
+                self.0 as f64
+            }
+
+            /// Returns `true` at exactly zero cycles.
+            #[inline]
+            pub const fn is_zero(self) -> bool {
+                self.0 == 0
+            }
+
+            /// Returns the instant of this cycle's rising edge on
+            /// `clock`, which must be the domain's own clock.
+            #[inline]
+            pub fn edge(self, clock: &Clock) -> SimTime {
+                clock.cycles_to_time(self.0)
+            }
+
+            /// Returns the span occupied by this many cycles of
+            /// `clock`, which must be the domain's own clock.
+            #[inline]
+            pub fn span(self, clock: &Clock) -> Duration {
+                clock.cycles_to_duration(self.0)
+            }
+
+            /// Returns the first cycle of `clock` whose rising edge is
+            /// at or after `t` (the inverse of [`edge`](Self::edge),
+            /// rounding up).
+            #[inline]
+            pub fn at_or_after(t: SimTime, clock: &Clock) -> Self {
+                $name(t.as_ps().div_ceil(clock.period().as_ps()))
+            }
+
+            /// Returns the cycle of `clock` containing `t` (rounding
+            /// down).
+            #[inline]
+            pub fn containing(t: SimTime, clock: &Clock) -> Self {
+                $name(clock.cycle_at(t))
+            }
+
+            /// Returns `true` when the cycle index is a multiple of
+            /// the dimensionless `divisor`.
+            #[inline]
+            pub const fn is_multiple_of(self, divisor: u64) -> bool {
+                self.0 % divisor == 0
+            }
+
+            /// Returns the smallest multiple of the dimensionless
+            /// `divisor` at or above this cycle.
+            #[inline]
+            pub fn next_multiple_of(self, divisor: u64) -> Self {
+                $name(self.0.next_multiple_of(divisor))
+            }
+
+            /// Returns the larger of two counts.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two counts.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<u64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: u64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+cycle_newtype!(
+    /// A count of (or index into) core-clock cycles — 500 ps each in
+    /// the paper's 2 GHz configuration.
+    ///
+    /// Core-domain quantities must not meet memory-domain or picosecond
+    /// quantities through raw integers; convert explicitly via
+    /// [`CoreCycles::edge`]/[`CoreCycles::span`] (into [`SimTime`] /
+    /// [`Duration`]) or [`CoreCycles::to_mem`] (into [`MemCycles`]).
+    /// `mellow-lint`'s clock-domain rule enforces this outside the
+    /// engine's time layer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mellow_engine::{Clock, CoreCycles, SimTime};
+    ///
+    /// let core = Clock::from_ghz(2);
+    /// let c = CoreCycles::new(10);
+    /// assert_eq!(c.edge(&core), SimTime::from_ns(5));
+    /// assert_eq!(CoreCycles::at_or_after(SimTime::from_ps(4_999), &core), c);
+    /// assert_eq!(c.to_mem(5), mellow_engine::MemCycles::new(2));
+    /// ```
+    CoreCycles,
+    "core cycles"
+);
+
+cycle_newtype!(
+    /// A count of (or index into) memory-clock cycles (edges) — 2500 ps
+    /// each in the paper's 400 MHz configuration.
+    ///
+    /// See [`CoreCycles`] for the domain-discipline contract.
+    MemCycles,
+    "memory cycles"
+);
+
+impl CoreCycles {
+    /// Converts to whole memory-clock cycles, given `divisor` core
+    /// cycles per memory cycle (5 for 2 GHz / 400 MHz), rounding down.
+    ///
+    /// The only sanctioned core→memory domain crossing.
+    #[inline]
+    pub const fn to_mem(self, divisor: u64) -> MemCycles {
+        MemCycles(self.0 / divisor)
     }
 }
 
@@ -346,5 +534,54 @@ mod tests {
     fn sum_of_durations() {
         let total: Duration = [1u64, 2, 3].iter().map(|&n| Duration::from_ns(n)).sum();
         assert_eq!(total, Duration::from_ns(6));
+    }
+
+    #[test]
+    fn core_cycles_convert_through_the_core_clock() {
+        let core = Clock::from_ghz(2);
+        let c = CoreCycles::new(60);
+        assert_eq!(c.edge(&core), SimTime::from_ns(30));
+        assert_eq!(c.span(&core), Duration::from_ns(30));
+        assert_eq!(CoreCycles::at_or_after(SimTime::from_ns(30), &core), c);
+        assert_eq!(
+            CoreCycles::at_or_after(SimTime::from_ps(29_999), &core),
+            c,
+            "at_or_after rounds up to the next edge"
+        );
+        assert_eq!(CoreCycles::containing(SimTime::from_ps(30_499), &core), c);
+    }
+
+    #[test]
+    fn mem_cycles_convert_through_the_mem_clock() {
+        let mem = Clock::from_mhz(400);
+        let m = MemCycles::new(60);
+        assert_eq!(m.span(&mem), Duration::from_ns(150)); // normal write pulse
+        assert_eq!(MemCycles::at_or_after(SimTime::from_ns(150), &mem), m);
+    }
+
+    #[test]
+    fn core_to_mem_crossing_floors() {
+        // 2 GHz / 400 MHz: five core cycles per memory cycle.
+        assert_eq!(CoreCycles::new(10).to_mem(5), MemCycles::new(2));
+        assert_eq!(CoreCycles::new(14).to_mem(5), MemCycles::new(2));
+        assert_eq!(CoreCycles::new(15).to_mem(5), MemCycles::new(3));
+    }
+
+    #[test]
+    fn cycle_arithmetic_and_alignment() {
+        let a = CoreCycles::new(7);
+        assert_eq!(a + CoreCycles::ONE, CoreCycles::new(8));
+        assert_eq!(a - CoreCycles::new(3), CoreCycles::new(4));
+        assert_eq!(a * 3, CoreCycles::new(21));
+        assert!(a.next_multiple_of(5) == CoreCycles::new(10));
+        assert!(CoreCycles::new(10).is_multiple_of(5));
+        assert!(!a.is_multiple_of(5));
+        assert_eq!(a.max(CoreCycles::new(9)), CoreCycles::new(9));
+        assert_eq!(a.min(CoreCycles::new(9)), a);
+        assert!(CoreCycles::ZERO.is_zero());
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.as_f64(), 7.0);
+        assert_eq!(a.to_string(), "7 core cycles");
+        assert_eq!(MemCycles::new(2).to_string(), "2 memory cycles");
     }
 }

@@ -1,0 +1,236 @@
+//! The committed violation baseline (`lint-baseline.toml`).
+//!
+//! The lint fails only on *new* violations: anything listed in the baseline
+//! is tolerated, and anything in the baseline that no longer fires is a
+//! *stale* entry — also a failure, so the baseline can only shrink.
+//!
+//! The file is a small TOML subset written and read by this module (the
+//! workspace vendors no TOML crate):
+//!
+//! ```toml
+//! # mellow-lint baseline — remove entries as violations are fixed.
+//!
+//! [[allow]]
+//! rule = "panic-policy"
+//! file = "crates/foo/src/bar.rs"
+//! line = 12
+//! note = "legacy; tracked in ROADMAP"
+//! ```
+//!
+//! Only `[[allow]]` tables with `rule`/`file`/`line` string-or-integer keys
+//! are understood; `note` is optional free text. Anything else is a parse
+//! error so typos cannot silently allow violations.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// One tolerated violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub note: String,
+}
+
+/// The parsed baseline: a sorted list of tolerated violations.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub entries: Vec<Entry>,
+}
+
+/// A baseline parse failure, with the offending line number.
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Baseline {
+    /// Parses the TOML-subset text. An empty or comment-only file is an
+    /// empty baseline (the desired steady state).
+    pub fn parse(text: &str) -> Result<Baseline, ParseError> {
+        let mut entries: Vec<Entry> = Vec::new();
+        let mut current: Option<(String, String, Option<u32>, String)> = None;
+        let mut open_line = 0usize;
+
+        let finish = |cur: Option<(String, String, Option<u32>, String)>,
+                      at: usize,
+                      entries: &mut Vec<Entry>|
+         -> Result<(), ParseError> {
+            if let Some((rule, file, line, note)) = cur {
+                if rule.is_empty() || file.is_empty() {
+                    return Err(ParseError {
+                        line: at,
+                        message: "[[allow]] entry missing `rule` or `file`".to_string(),
+                    });
+                }
+                let Some(line_no) = line else {
+                    return Err(ParseError {
+                        line: at,
+                        message: "[[allow]] entry missing `line`".to_string(),
+                    });
+                };
+                entries.push(Entry {
+                    rule,
+                    file,
+                    line: line_no,
+                    note,
+                });
+            }
+            Ok(())
+        };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                finish(current.take(), open_line, &mut entries)?;
+                current = Some((String::new(), String::new(), None, String::new()));
+                open_line = lineno;
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("unrecognized line: `{line}`"),
+                });
+            };
+            let Some(cur) = current.as_mut() else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: "key outside any [[allow]] table".to_string(),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let unquote = |v: &str| -> Result<String, ParseError> {
+                let inner = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: format!("expected a quoted string for `{key}`"),
+                    })?;
+                Ok(inner.to_string())
+            };
+            match key {
+                "rule" => cur.0 = unquote(value)?,
+                "file" => cur.1 = unquote(value)?,
+                "line" => {
+                    let n: u32 = value.parse().map_err(|_| ParseError {
+                        line: lineno,
+                        message: format!("expected an integer for `line`, got `{value}`"),
+                    })?;
+                    cur.2 = Some(n);
+                }
+                "note" => cur.3 = unquote(value)?,
+                other => {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("unknown key `{other}` in [[allow]] table"),
+                    });
+                }
+            }
+        }
+        finish(current.take(), open_line, &mut entries)?;
+        entries.sort();
+        Ok(Baseline { entries })
+    }
+
+    /// Loads a baseline file. A missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Baseline, ParseError> {
+        match fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(ParseError {
+                line: 0,
+                message: format!("cannot read baseline: {e}"),
+            }),
+        }
+    }
+
+    /// Renders the baseline in canonical (sorted, deterministic) form.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# mellow-lint baseline — tolerated pre-existing violations.\n\
+             # Remove entries as they are fixed; stale entries fail the lint.\n",
+        );
+        let mut entries = self.entries.clone();
+        entries.sort();
+        for e in &entries {
+            out.push_str("\n[[allow]]\n");
+            out.push_str(&format!("rule = \"{}\"\n", e.rule));
+            out.push_str(&format!("file = \"{}\"\n", e.file));
+            out.push_str(&format!("line = {}\n", e.line));
+            if !e.note.is_empty() {
+                out.push_str(&format!("note = \"{}\"\n", e.note));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_comment_only_files_parse_to_empty() {
+        assert!(Baseline::parse("").expect("empty ok").entries.is_empty());
+        assert!(Baseline::parse("# nothing\n\n# here\n")
+            .expect("comments ok")
+            .entries
+            .is_empty());
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let b = Baseline {
+            entries: vec![
+                Entry {
+                    rule: "panic-policy".to_string(),
+                    file: "crates/a/src/x.rs".to_string(),
+                    line: 7,
+                    note: "legacy".to_string(),
+                },
+                Entry {
+                    rule: "determinism".to_string(),
+                    file: "crates/b/src/y.rs".to_string(),
+                    line: 3,
+                    note: String::new(),
+                },
+            ],
+        };
+        let text = b.render();
+        let parsed = Baseline::parse(&text).expect("rendered baseline parses");
+        let mut want = b.entries.clone();
+        want.sort();
+        assert_eq!(parsed.entries, want);
+        // Rendering is canonical: parse(render(x)).render() == render(x).
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn unknown_keys_and_orphan_keys_are_errors() {
+        assert!(
+            Baseline::parse("[[allow]]\nrule = \"x\"\nfile = \"y\"\nline = 1\nfoo = \"z\"\n")
+                .is_err()
+        );
+        assert!(Baseline::parse("rule = \"x\"\n").is_err());
+        assert!(Baseline::parse("[[allow]]\nrule = \"x\"\nline = 1\n").is_err());
+        assert!(Baseline::parse("[[allow]]\nrule = \"x\"\nfile = \"y\"\nline = one\n").is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! `mellow-lint` — the workspace's offline static-analysis pass.
+//!
+//! The simulator's headline guarantees (bit-identical replay of every
+//! experiment, a single blessed crossing point between clock domains) are
+//! properties no unit test can protect forever: one `as u64` or one
+//! `HashMap` iteration in a future patch silently re-introduces the bug
+//! class. This crate walks every workspace `.rs` file with a hand-rolled
+//! lexer and enforces four rules (see [`rules`]):
+//!
+//! | rule | name | enforces |
+//! |------|------|----------|
+//! | L1 | `clock-domain` | no raw integer time arithmetic outside `mellow-engine`'s `time.rs`/`clock.rs` |
+//! | L2 | `determinism` | no hash-order iteration or wall clocks in simulation crates |
+//! | L3 | `panic-policy` | no `.unwrap()` / `.expect("")` in non-test library code |
+//! | L4 | `stats-exhaustiveness` | every `*Stats` field has an accumulate *and* a report site |
+//!
+//! Violations are diffed against a committed [`baseline`]
+//! (`lint-baseline.toml`); only *new* violations — or stale baseline
+//! entries — fail the build, so the baseline can only shrink over time.
+//!
+//! Run it with `cargo run -p mellow-lint` from anywhere in the workspace.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod runner;
+
+use std::fmt;
+
+/// The four rules, in severity-of-surprise order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// L1: clock-domain discipline.
+    ClockDomain,
+    /// L2: deterministic iteration and no wall clocks.
+    Determinism,
+    /// L3: panic policy in library code.
+    PanicPolicy,
+    /// L4: every stats counter is accumulated and reported.
+    StatsExhaustiveness,
+}
+
+impl Rule {
+    /// The stable name used in diagnostics, baselines and allow-comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::ClockDomain => "clock-domain",
+            Rule::Determinism => "determinism",
+            Rule::PanicPolicy => "panic-policy",
+            Rule::StatsExhaustiveness => "stats-exhaustiveness",
+        }
+    }
+
+    /// Inverse of [`Rule::name`].
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "clock-domain" => Some(Rule::ClockDomain),
+            "determinism" => Some(Rule::Determinism),
+            "panic-policy" => Some(Rule::PanicPolicy),
+            "stats-exhaustiveness" => Some(Rule::StatsExhaustiveness),
+            _ => None,
+        }
+    }
+
+    /// All rules, for iteration in reports.
+    pub const ALL: [Rule; 4] = [
+        Rule::ClockDomain,
+        Rule::Determinism,
+        Rule::PanicPolicy,
+        Rule::StatsExhaustiveness,
+    ];
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic: a rule fired at `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    pub rule: Rule,
+    /// Workspace-relative path with `/` separators (stable across hosts).
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lints a single source text as if it lived at `rel_path` inside the
+/// workspace. Rule scoping (which crates each rule applies to, the
+/// `time.rs`/`clock.rs` exemption, test-file paths) follows the same logic
+/// as the workspace runner. The L4 reference check only sees this one file.
+///
+/// This is the entry point the fixture tests drive.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    let scope = runner::classify(rel_path);
+    let lx = lexer::lex(src);
+    let excluded = rules::test_spans(&lx.toks);
+    let mut out = Vec::new();
+    if scope.check_clock_domain {
+        out.extend(rules::check_clock_domain(rel_path, &lx, &excluded));
+    }
+    if scope.check_determinism {
+        out.extend(rules::check_determinism(rel_path, &lx, &excluded));
+    }
+    if scope.check_panic_policy {
+        out.extend(rules::check_panic_policy(rel_path, &lx, &excluded));
+    }
+    if scope.check_stats {
+        let structs = rules::collect_stats_structs(rel_path, &lx, &excluded);
+        let idents = vec![(rel_path.to_string(), rules::collect_idents(&lx, &excluded))];
+        out.extend(rules::check_stats_exhaustive(&structs, &idents));
+    }
+    out.sort();
+    out
+}

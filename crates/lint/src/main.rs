@@ -1,0 +1,146 @@
+//! CLI for the workspace lint. Exit codes: 0 clean, 1 violations (new or
+//! stale baseline entries), 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mellow_lint::baseline::Baseline;
+use mellow_lint::runner;
+
+const USAGE: &str = "\
+mellow-lint — workspace static-analysis pass
+
+USAGE:
+    cargo run -p mellow-lint [--release] -- [OPTIONS]
+
+OPTIONS:
+    --root <DIR>        Workspace root (default: auto-detected)
+    --baseline <FILE>   Baseline path (default: <root>/lint-baseline.toml)
+    --write-baseline    Rewrite the baseline to cover current violations
+    --list              Print every violation, including baselined ones
+    -h, --help          Show this help
+";
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`, falling back to this crate's
+/// grandparent directory (it lives at `<root>/crates/lint`).
+fn find_root(start: &Path) -> PathBuf {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return d.to_path_buf();
+            }
+        }
+        dir = d.parent();
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut list = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--root requires a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--baseline requires a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-baseline" => write_baseline = true,
+            "--list" => list = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = root.unwrap_or_else(|| find_root(&cwd));
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.toml"));
+
+    let all = match runner::collect_violations(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("mellow-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let text = runner::baseline_for(&all).render();
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("mellow-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "mellow-lint: wrote baseline with {} entr{} to {}",
+            all.len(),
+            if all.len() == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("mellow-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = runner::diff(all, &baseline);
+
+    if list {
+        for v in &report.all {
+            println!("{v}");
+        }
+    }
+    for v in &report.fresh {
+        println!("{v}");
+    }
+    for e in &report.stale {
+        println!(
+            "{}:{}: [baseline] stale entry for rule `{}` — violation no longer fires, remove it",
+            e.file, e.line, e.rule
+        );
+    }
+
+    let summary: Vec<String> = runner::counts(&report.all)
+        .iter()
+        .map(|(r, n)| format!("{r}: {n}"))
+        .collect();
+    println!(
+        "mellow-lint: {} file-scoped violation(s) ({}); {} new, {} stale baseline entr{}",
+        report.all.len(),
+        summary.join(", "),
+        report.fresh.len(),
+        report.stale.len(),
+        if report.stale.len() == 1 { "y" } else { "ies" },
+    );
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,750 @@
+//! The four lint rules.
+//!
+//! Each rule pattern-matches over the token stream produced by
+//! [`crate::lexer::lex`]. All rules skip test code: `#[cfg(test)]` modules,
+//! `#[test]`/`#[bench]` items, and whole files under `tests/`, `benches/` or
+//! `examples/` (the latter handled by the runner's scoping, see
+//! [`crate::runner`]).
+//!
+//! - **clock-domain** (L1): raw integer arithmetic on time-flavored
+//!   quantities. Cycle counts must live in `CoreCycles`/`MemCycles` and
+//!   picosecond quantities in `SimTime`/`Duration`; the only sanctioned
+//!   crossings are in `mellow-engine`'s `time.rs`/`clock.rs`.
+//! - **determinism** (L2): iteration over `HashMap`/`HashSet` (order is
+//!   randomized-by-construction) and wall-clock types
+//!   (`Instant`/`SystemTime`) inside simulation crates.
+//! - **panic-policy** (L3): `.unwrap()` and `.expect("")` in non-test
+//!   library code. Failures must either become typed errors or carry an
+//!   invariant message.
+//! - **stats-exhaustiveness** (L4): every field of a `*Stats` struct must be
+//!   referenced at least twice outside its declaration — once to accumulate
+//!   and once to report/merge. A counter that is bumped but never read (or
+//!   declared and never bumped) is dead telemetry.
+
+use crate::lexer::{allowed, Lexed, Tok, TokKind};
+use crate::{Rule, Violation};
+
+/// Integer type names a raw time quantity could hide behind.
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Float type names (casting a cycle count to one is still a domain escape).
+const FLOAT_TYPES: &[&str] = &["f32", "f64"];
+
+/// Methods whose receiver being a hash collection means order-dependent
+/// iteration.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Identifiers that, appearing in the consuming expression/statement, prove
+/// the iteration order was normalized away (sorted, re-collected into an
+/// ordered map, or reduced by an order-insensitive fold).
+const NORMALIZERS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "count",
+    "len",
+    "sum",
+    "all",
+    "any",
+    "max",
+    "min",
+    "fold_commutative",
+    "is_empty",
+];
+
+fn is_int_type(s: &str) -> bool {
+    INT_TYPES.contains(&s)
+}
+
+fn is_numeric_type(s: &str) -> bool {
+    INT_TYPES.contains(&s) || FLOAT_TYPES.contains(&s)
+}
+
+/// The name heuristic for L1: does this identifier denote a time quantity?
+///
+/// Deliberately conservative — plain `time`, `start`, `deadline` are *not*
+/// flagged (they are usually already `SimTime`); the rule targets the naming
+/// conventions this workspace actually uses for raw counts: `*_cycle(s)`,
+/// `*_ps`, `*_ns`, `*_us` and the bare words `cycle`/`cycles`.
+pub fn is_time_flavored(name: &str) -> bool {
+    matches!(name, "cycle" | "cycles" | "ps" | "ns")
+        || name.ends_with("_cycle")
+        || name.ends_with("_cycles")
+        || name.ends_with("_ps")
+        || name.ends_with("_ns")
+        || name.ends_with("_us")
+}
+
+/// Marks the token spans belonging to test code: any item annotated
+/// `#[test]`/`#[bench]` or gated on `#[cfg(test)]` (but *not*
+/// `#[cfg(not(test))]`), through the end of its body.
+pub fn test_spans(toks: &[Tok]) -> Vec<bool> {
+    let n = toks.len();
+    let mut excluded = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].text == "#" && i + 1 < n && toks[i + 1].text == "[" {
+            // Find the matching `]` of the attribute.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < n {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let attr = &toks[i + 2..j.min(n)];
+            let has = |s: &str| attr.iter().any(|t| t.text == s);
+            let is_test_attr = (has("test") || has("bench")) && !has("not");
+            if is_test_attr {
+                // Skip any further attributes, then mark through the end of
+                // the annotated item (to the matching `}` of its body, or to
+                // `;` for a body-less item).
+                let mut k = j + 1;
+                while k + 1 < n && toks[k].text == "#" && toks[k + 1].text == "[" {
+                    let mut d = 0usize;
+                    while k < n {
+                        match toks[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                // Find the item body.
+                let mut end = k;
+                while end < n && toks[end].text != "{" && toks[end].text != ";" {
+                    end += 1;
+                }
+                if end < n && toks[end].text == "{" {
+                    let mut braces = 0usize;
+                    while end < n {
+                        match toks[end].text.as_str() {
+                            "{" => braces += 1,
+                            "}" => {
+                                braces -= 1;
+                                if braces == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        end += 1;
+                    }
+                }
+                let end = (end + 1).min(n);
+                for flag in excluded.iter_mut().take(end).skip(i) {
+                    *flag = true;
+                }
+                i = end;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    excluded
+}
+
+/// Tokens that terminate a backward scan for the operand of an `as` cast.
+fn ends_operand(t: &Tok) -> bool {
+    if t.kind == TokKind::Punct {
+        return matches!(
+            t.text.as_str(),
+            "+" | "-"
+                | "*"
+                | "/"
+                | "%"
+                | "="
+                | "<"
+                | ">"
+                | "&"
+                | "|"
+                | "^"
+                | ","
+                | ";"
+                | "{"
+                | "}"
+                | "!"
+                | "?"
+                | ":"
+                | "=>"
+                | "->"
+        );
+    }
+    if t.kind == TokKind::Ident {
+        return matches!(
+            t.text.as_str(),
+            "return" | "if" | "else" | "match" | "in" | "as" | "let" | "while"
+        );
+    }
+    false
+}
+
+/// L1 — clock-domain discipline.
+pub fn check_clock_domain(file: &str, lx: &Lexed, excluded: &[bool]) -> Vec<Violation> {
+    let toks = &lx.toks;
+    let n = toks.len();
+    let mut out = Vec::new();
+    let mut push = |line: u32, message: String| {
+        if !allowed(&lx.allows, Rule::ClockDomain.name(), line) {
+            out.push(Violation {
+                rule: Rule::ClockDomain,
+                file: file.to_string(),
+                line,
+                message,
+            });
+        }
+    };
+
+    for i in 0..n {
+        if excluded[i] {
+            continue;
+        }
+        let t = &toks[i];
+
+        // (a) `<time-flavored expr> as <numeric type>`: a raw cast out of (or
+        // into) a clock domain. Walk backwards over the operand collecting
+        // identifiers.
+        if t.kind == TokKind::Ident
+            && t.text == "as"
+            && i + 1 < n
+            && toks[i + 1].kind == TokKind::Ident
+            && is_numeric_type(&toks[i + 1].text)
+        {
+            let mut depth = 0i32;
+            let mut j = i as i64 - 1;
+            let mut culprit: Option<&str> = None;
+            let floor = i.saturating_sub(40) as i64;
+            while j >= floor {
+                let tj = &toks[j as usize];
+                match tj.text.as_str() {
+                    ")" | "]" => depth += 1,
+                    "(" | "[" => {
+                        depth -= 1;
+                        if depth < 0 {
+                            break;
+                        }
+                    }
+                    _ => {
+                        if depth == 0 && ends_operand(tj) {
+                            break;
+                        }
+                        if tj.kind == TokKind::Ident && is_time_flavored(&tj.text) {
+                            culprit = Some(&tj.text);
+                        }
+                    }
+                }
+                j -= 1;
+            }
+            if let Some(name) = culprit {
+                push(
+                    t.line,
+                    format!(
+                        "raw `as {}` cast involving time-domain quantity `{}`; \
+                         use CoreCycles/MemCycles/SimTime conversions instead",
+                        toks[i + 1].text,
+                        name
+                    ),
+                );
+            }
+        }
+
+        // (b) declaring a time-flavored binding/field/param with a raw
+        // integer type: `head_blocked_cycles: u64`.
+        if t.kind == TokKind::Ident
+            && is_time_flavored(&t.text)
+            && i + 1 < n
+            && toks[i + 1].text == ":"
+        {
+            let mut j = i + 2;
+            while j < n
+                && (toks[j].text == "&"
+                    || toks[j].text == "mut"
+                    || toks[j].kind == TokKind::Lifetime)
+            {
+                j += 1;
+            }
+            if j < n && toks[j].kind == TokKind::Ident && is_int_type(&toks[j].text) {
+                push(
+                    t.line,
+                    format!(
+                        "time-domain quantity `{}` declared as raw `{}`; \
+                         use CoreCycles, MemCycles, SimTime or Duration",
+                        t.text, toks[j].text
+                    ),
+                );
+            }
+        }
+
+        // (c) a function with a time-flavored name returning a raw integer.
+        if t.kind == TokKind::Ident && t.text == "fn" && i + 1 < n {
+            let name = &toks[i + 1];
+            if name.kind == TokKind::Ident && is_time_flavored(&name.text) {
+                // Scan the signature for `-> <int type>` before the body.
+                let mut j = i + 2;
+                let mut depth = 0i32;
+                while j < n {
+                    match toks[j].text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" | ";" if depth == 0 => break,
+                        "->" if depth == 0 => {
+                            if j + 1 < n
+                                && toks[j + 1].kind == TokKind::Ident
+                                && is_int_type(&toks[j + 1].text)
+                            {
+                                push(
+                                    name.line,
+                                    format!(
+                                        "fn `{}` returns raw `{}`; return a typed \
+                                         cycle/time quantity instead",
+                                        name.text,
+                                        toks[j + 1].text
+                                    ),
+                                );
+                            }
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Collects the names of bindings/fields whose type (or initializer) involves
+/// `HashMap`/`HashSet`. Over-approximate on purpose: an extra candidate name
+/// only matters if something later iterates it.
+fn hash_collection_names(toks: &[Tok]) -> Vec<String> {
+    let n = toks.len();
+    let mut names: Vec<String> = Vec::new();
+    for i in 0..n {
+        let t = &toks[i];
+        // `name: ... HashMap<...>` (field, param or annotated let).
+        if t.kind == TokKind::Ident && i + 1 < n && toks[i + 1].text == ":" {
+            let mut j = i + 2;
+            while j < n {
+                let tj = &toks[j];
+                if tj.text == "HashMap" || tj.text == "HashSet" {
+                    names.push(t.text.clone());
+                    break;
+                }
+                let continues = tj.text == "&"
+                    || tj.text == "mut"
+                    || tj.text == "::"
+                    || tj.kind == TokKind::Lifetime
+                    || tj.kind == TokKind::Ident;
+                if !continues || j > i + 10 {
+                    break;
+                }
+                j += 1;
+            }
+        }
+        // `let [mut] name = ... HashMap::new() ...;`
+        if t.text == "let" && t.kind == TokKind::Ident && i + 1 < n {
+            let mut j = i + 1;
+            if toks[j].text == "mut" {
+                j += 1;
+            }
+            if j < n && toks[j].kind == TokKind::Ident {
+                let bound = &toks[j].text;
+                let mut k = j + 1;
+                let mut depth = 0i32;
+                while k < n && k < j + 120 {
+                    match toks[k].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        ";" if depth <= 0 => break,
+                        "HashMap" | "HashSet" => {
+                            names.push(bound.clone());
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Looks ahead from an iteration site for evidence the order was normalized
+/// (a sort, a re-collect into an ordered map, or an order-insensitive fold).
+///
+/// The scan covers the rest of the current statement *and* the one after it,
+/// so the blessed two-step idiom passes:
+///
+/// ```ignore
+/// let mut rows: Vec<_> = map.iter().collect();
+/// rows.sort();
+/// ```
+fn normalized_downstream(toks: &[Tok], from: usize) -> bool {
+    let n = toks.len();
+    let mut depth = 0i32;
+    let mut semis = 0usize;
+    let mut j = from;
+    while j < n && j < from + 200 {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            ";" if depth <= 0 => {
+                semis += 1;
+                if semis >= 2 {
+                    return false;
+                }
+            }
+            "{" | "}" if depth <= 0 => return false,
+            _ => {
+                if t.kind == TokKind::Ident && NORMALIZERS.contains(&t.text.as_str()) {
+                    return true;
+                }
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+/// L2 — determinism.
+pub fn check_determinism(file: &str, lx: &Lexed, excluded: &[bool]) -> Vec<Violation> {
+    let toks = &lx.toks;
+    let n = toks.len();
+    let names = hash_collection_names(toks);
+    let mut out = Vec::new();
+    let mut push = |line: u32, message: String| {
+        if !allowed(&lx.allows, Rule::Determinism.name(), line) {
+            out.push(Violation {
+                rule: Rule::Determinism,
+                file: file.to_string(),
+                line,
+                message,
+            });
+        }
+    };
+
+    for i in 0..n {
+        if excluded[i] {
+            continue;
+        }
+        let t = &toks[i];
+
+        // Wall-clock types are banned outright in simulation crates.
+        if t.kind == TokKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+            push(
+                t.line,
+                format!(
+                    "`{}` (wall clock) in a simulation crate breaks reproducibility",
+                    t.text
+                ),
+            );
+            continue;
+        }
+
+        // `<hash collection>.iter()` and friends.
+        if t.text == "."
+            && i + 2 < n
+            && toks[i + 1].kind == TokKind::Ident
+            && ITER_METHODS.contains(&toks[i + 1].text.as_str())
+            && toks[i + 2].text == "("
+            && i >= 1
+            && toks[i - 1].kind == TokKind::Ident
+            && names.contains(&toks[i - 1].text)
+            && !normalized_downstream(toks, i + 3)
+        {
+            push(
+                toks[i + 1].line,
+                format!(
+                    "iteration over hash collection `{}` via `.{}()` has nondeterministic \
+                     order; sort, collect into a BTreeMap/BTreeSet, or reduce \
+                     order-insensitively",
+                    toks[i - 1].text,
+                    toks[i + 1].text
+                ),
+            );
+        }
+
+        // `for k in [&mut] [self.] <hash collection> {`.
+        if t.kind == TokKind::Ident && t.text == "in" {
+            let mut j = i + 1;
+            while j < n && (toks[j].text == "&" || toks[j].text == "mut") {
+                j += 1;
+            }
+            if j < n && toks[j].text == "self" && j + 1 < n && toks[j + 1].text == "." {
+                j += 2;
+            }
+            if j < n
+                && toks[j].kind == TokKind::Ident
+                && names.contains(&toks[j].text)
+                && j + 1 < n
+                && toks[j + 1].text == "{"
+                && !excluded[j]
+            {
+                push(
+                    toks[j].line,
+                    format!(
+                        "`for` loop over hash collection `{}` has nondeterministic order",
+                        toks[j].text
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// L3 — panic policy.
+pub fn check_panic_policy(file: &str, lx: &Lexed, excluded: &[bool]) -> Vec<Violation> {
+    let toks = &lx.toks;
+    let n = toks.len();
+    let mut out = Vec::new();
+    let mut push = |line: u32, message: String| {
+        if !allowed(&lx.allows, Rule::PanicPolicy.name(), line) {
+            out.push(Violation {
+                rule: Rule::PanicPolicy,
+                file: file.to_string(),
+                line,
+                message,
+            });
+        }
+    };
+
+    for i in 0..n {
+        if excluded[i] || toks[i].text != "." {
+            continue;
+        }
+        if i + 3 < n
+            && toks[i + 1].text == "unwrap"
+            && toks[i + 2].text == "("
+            && toks[i + 3].text == ")"
+        {
+            push(
+                toks[i + 1].line,
+                "`.unwrap()` in library code; use a typed error or `.expect(\"<invariant>\")`"
+                    .to_string(),
+            );
+        }
+        if i + 3 < n
+            && toks[i + 1].text == "expect"
+            && toks[i + 2].text == "("
+            && toks[i + 3].kind == TokKind::Str
+        {
+            let lit = &toks[i + 3].text;
+            let open = lit.find('"');
+            let close = lit.rfind('"');
+            let empty = match (open, close) {
+                (Some(a), Some(b)) => a + 1 >= b,
+                _ => true,
+            };
+            if empty {
+                push(
+                    toks[i + 1].line,
+                    "`.expect(\"\")` with an empty message; state the violated invariant"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// A `*Stats` struct declaration found in a file: name, field names with
+/// their lines, and the token/line span of the declaration itself.
+#[derive(Debug, Clone)]
+pub struct StatsStruct {
+    pub file: String,
+    pub name: String,
+    pub fields: Vec<(String, u32)>,
+    pub start_line: u32,
+    pub end_line: u32,
+}
+
+/// Collects every non-test `struct FooStats { ... }` declaration.
+pub fn collect_stats_structs(file: &str, lx: &Lexed, excluded: &[bool]) -> Vec<StatsStruct> {
+    let toks = &lx.toks;
+    let n = toks.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        if excluded[i] || toks[i].text != "struct" || toks[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokKind::Ident || !name_tok.text.ends_with("Stats") {
+            i += 1;
+            continue;
+        }
+        // Find the body open brace (skip generics; bail on tuple/unit structs).
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        while j < n {
+            match toks[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" if angle == 0 => break,
+                "(" | ";" if angle == 0 => {
+                    j = n; // tuple or unit struct: no named fields to check
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= n {
+            i += 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        let mut fields: Vec<(String, u32)> = Vec::new();
+        let mut depth = 0usize;
+        let mut k = j;
+        let mut end_line = start_line;
+        while k < n {
+            match toks[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = toks[k].line;
+                        break;
+                    }
+                }
+                "#" if depth == 1 && k + 1 < n && toks[k + 1].text == "[" => {
+                    // Skip field attributes.
+                    let mut d = 0usize;
+                    k += 1;
+                    while k < n {
+                        match toks[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                _ => {
+                    // A field is `ident :` at depth 1, where the previous
+                    // significant token is `{`, `,` or `)` (end of pub(crate)).
+                    if depth == 1
+                        && toks[k].kind == TokKind::Ident
+                        && k + 1 < n
+                        && toks[k + 1].text == ":"
+                        && k >= 1
+                        && matches!(toks[k - 1].text.as_str(), "{" | "," | ")" | "pub")
+                    {
+                        fields.push((toks[k].text.clone(), toks[k].line));
+                    }
+                }
+            }
+            k += 1;
+        }
+        out.push(StatsStruct {
+            file: file.to_string(),
+            name: name_tok.text.clone(),
+            fields,
+            start_line,
+            end_line,
+        });
+        i = k + 1;
+    }
+    out
+}
+
+/// Collects every non-test identifier occurrence in a file (for the L4
+/// cross-file reference check).
+pub fn collect_idents(lx: &Lexed, excluded: &[bool]) -> Vec<(String, u32)> {
+    lx.toks
+        .iter()
+        .zip(excluded.iter())
+        .filter(|(t, ex)| t.kind == TokKind::Ident && !**ex)
+        .map(|(t, _)| (t.text.clone(), t.line))
+        .collect()
+}
+
+/// L4 — stats exhaustiveness. `idents` maps a file path to its non-test
+/// identifier occurrences (from [`collect_idents`]); declarations themselves
+/// are excluded by line span.
+pub fn check_stats_exhaustive(
+    structs: &[StatsStruct],
+    idents: &[(String, Vec<(String, u32)>)],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for s in structs {
+        for (field, line) in &s.fields {
+            let uses: usize = idents
+                .iter()
+                .map(|(file, occs)| {
+                    occs.iter()
+                        .filter(|(name, occ_line)| {
+                            name == field
+                                && !(file == &s.file
+                                    && *occ_line >= s.start_line
+                                    && *occ_line <= s.end_line)
+                        })
+                        .count()
+                })
+                .sum();
+            if uses < 2 {
+                out.push(Violation {
+                    rule: Rule::StatsExhaustiveness,
+                    file: s.file.clone(),
+                    line: *line,
+                    message: format!(
+                        "stats field `{}.{}` is referenced {} time(s) outside its declaration; \
+                         every counter needs both an accumulation and a report/merge site",
+                        s.name, field, uses
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

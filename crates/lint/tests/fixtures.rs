@@ -1,0 +1,247 @@
+//! Fixture tests: every rule gets at least one violating and one clean
+//! snippet, linted through the same scoping logic as the workspace runner
+//! (fixtures pose as files inside simulation crates).
+
+use mellow_lint::{lint_source, Rule};
+
+/// Path under which fixtures are linted: a simulation crate, so every rule
+/// is in scope.
+const SIM: &str = "crates/memctrl/src/fixture.rs";
+
+fn rules_fired(src: &str) -> Vec<Rule> {
+    let mut rules: Vec<Rule> = lint_source(SIM, src).into_iter().map(|v| v.rule).collect();
+    rules.dedup();
+    rules
+}
+
+// ---------------------------------------------------------------- L1
+
+#[test]
+fn l1_flags_raw_cast_of_cycle_quantity() {
+    let src = "fn f(t: SimTime, core_ps: u64) -> u64 { t.as_ps() / core_ps as u64 }";
+    let vs = lint_source(SIM, src);
+    assert!(
+        vs.iter()
+            .any(|v| v.rule == Rule::ClockDomain && v.message.contains("core_ps")),
+        "expected a clock-domain cast violation, got {vs:?}"
+    );
+}
+
+#[test]
+fn l1_flags_raw_integer_cycle_declaration() {
+    let src = "pub struct S { pub stall_cycles: u64 }";
+    let vs = lint_source(SIM, src);
+    assert!(
+        vs.iter()
+            .any(|v| v.rule == Rule::ClockDomain && v.message.contains("stall_cycles")),
+        "expected a clock-domain declaration violation, got {vs:?}"
+    );
+}
+
+#[test]
+fn l1_flags_time_named_fn_returning_raw_int() {
+    let src = "impl S { pub fn busy_cycles(&self) -> u64 { 0 } }";
+    assert!(rules_fired(src).contains(&Rule::ClockDomain));
+}
+
+#[test]
+fn l1_clean_typed_cycles_pass() {
+    let src = "
+        pub struct S { pub stall_cycles: CoreCycles }
+        impl S {
+            pub fn busy_cycles(&self) -> CoreCycles { self.stall_cycles }
+            pub fn f(&self, clock: &Clock) -> SimTime { self.stall_cycles.edge(clock) }
+        }
+        fn unrelated(index: usize) -> u64 { index as u64 }
+    ";
+    assert!(
+        !rules_fired(src).contains(&Rule::ClockDomain),
+        "clean snippet must not fire L1"
+    );
+}
+
+#[test]
+fn l1_exempts_engine_time_and_clock() {
+    let src = "fn period_ps(hz: u64) -> u64 { 1_000_000_000_000 / hz }";
+    for exempt in ["crates/engine/src/time.rs", "crates/engine/src/clock.rs"] {
+        assert!(
+            lint_source(exempt, src).is_empty(),
+            "{exempt} is the sanctioned conversion point"
+        );
+    }
+    assert!(
+        !lint_source(SIM, src).is_empty(),
+        "same code elsewhere must fire"
+    );
+}
+
+// ---------------------------------------------------------------- L2
+
+#[test]
+fn l2_flags_hashmap_iteration() {
+    let src = "
+        use std::collections::HashMap;
+        pub struct S { pending: HashMap<u64, u32> }
+        impl S {
+            pub fn total(&self, out: &mut Vec<u32>) {
+                for v in self.pending.values() { out.push(*v); }
+            }
+        }
+    ";
+    let vs = lint_source(SIM, src);
+    assert!(
+        vs.iter()
+            .any(|v| v.rule == Rule::Determinism && v.message.contains("pending")),
+        "expected a determinism violation, got {vs:?}"
+    );
+}
+
+#[test]
+fn l2_flags_wall_clock() {
+    let src = "pub fn now() -> std::time::Instant { std::time::Instant::now() }";
+    assert!(rules_fired(src).contains(&Rule::Determinism));
+}
+
+#[test]
+fn l2_clean_sorted_iteration_passes() {
+    let src = "
+        use std::collections::HashMap;
+        pub struct S { pending: HashMap<u64, u32> }
+        impl S {
+            pub fn snapshot(&self) -> Vec<(u64, u32)> {
+                let mut rows: Vec<(u64, u32)> =
+                    self.pending.iter().map(|(k, v)| (*k, *v)).collect();
+                rows.sort();
+                rows
+            }
+            pub fn size(&self) -> usize { self.pending.len() }
+        }
+    ";
+    // `.iter()` is immediately normalized by the `sort` downstream; keyed
+    // access and `.len()` never fire.
+    let vs = lint_source(SIM, src);
+    assert!(
+        !vs.iter().any(|v| v.rule == Rule::Determinism),
+        "sorted collect must not fire L2, got {vs:?}"
+    );
+}
+
+#[test]
+fn l2_clean_btreemap_passes() {
+    let src = "
+        use std::collections::BTreeMap;
+        pub fn sum(m: &BTreeMap<u64, u64>) -> u64 { m.values().sum() }
+    ";
+    assert!(!rules_fired(src).contains(&Rule::Determinism));
+}
+
+#[test]
+fn l2_allow_comment_waives() {
+    let src = "
+        use std::collections::HashMap;
+        pub fn drop_all(m: &mut HashMap<u64, u32>, pending: &mut HashMap<u64, u32>) {
+            // mellow-lint: allow(determinism) -- order-insensitive clear
+            for (_k, _v) in pending.drain() {}
+        }
+    ";
+    assert!(!rules_fired(src).contains(&Rule::Determinism));
+}
+
+// ---------------------------------------------------------------- L3
+
+#[test]
+fn l3_flags_unwrap_and_empty_expect() {
+    let src = "
+        pub fn f(x: Option<u32>) -> u32 { x.unwrap() }
+        pub fn g(x: Option<u32>) -> u32 { x.expect(\"\") }
+    ";
+    let vs = lint_source(SIM, src);
+    assert_eq!(
+        vs.iter().filter(|v| v.rule == Rule::PanicPolicy).count(),
+        2,
+        "both the unwrap and the empty expect must fire, got {vs:?}"
+    );
+}
+
+#[test]
+fn l3_clean_expect_with_invariant_passes() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.expect(\"queue cannot be empty here\") }";
+    assert!(!rules_fired(src).contains(&Rule::PanicPolicy));
+}
+
+#[test]
+fn l3_skips_test_code() {
+    let src = "
+        pub fn lib_fn() -> u32 { 1 }
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() { assert_eq!(Some(1).unwrap(), 1); }
+        }
+    ";
+    assert!(!rules_fired(src).contains(&Rule::PanicPolicy));
+}
+
+#[test]
+fn l3_skips_test_files_entirely() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    assert!(lint_source("crates/memctrl/tests/integration.rs", src).is_empty());
+    assert!(lint_source("tests/end_to_end.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- L4
+
+#[test]
+fn l4_flags_write_only_counter() {
+    let src = "
+        pub struct FooStats { pub hits: u64, pub misses: u64 }
+        impl Foo {
+            fn record(&mut self) { self.stats.hits += 1; self.stats.misses += 1; }
+            fn report(&self) -> u64 { self.stats.hits }
+        }
+    ";
+    let vs = lint_source(SIM, src);
+    assert!(
+        vs.iter()
+            .any(|v| v.rule == Rule::StatsExhaustiveness && v.message.contains("misses")),
+        "write-only `misses` must fire, got {vs:?}"
+    );
+    assert!(
+        !vs.iter().any(|v| v.message.contains("`FooStats.hits`")),
+        "`hits` has accumulate + report sites, got {vs:?}"
+    );
+}
+
+#[test]
+fn l4_clean_fully_reported_stats_pass() {
+    let src = "
+        pub struct BarStats { pub fills: u64 }
+        impl Bar {
+            fn record(&mut self) { self.stats.fills += 1; }
+            fn report(&self) -> u64 { self.stats.fills }
+        }
+    ";
+    assert!(!rules_fired(src).contains(&Rule::StatsExhaustiveness));
+}
+
+#[test]
+fn l4_ignores_non_stats_structs() {
+    let src = "pub struct Config { pub depth: u64 }";
+    assert!(!rules_fired(src).contains(&Rule::StatsExhaustiveness));
+}
+
+// ------------------------------------------------------- diagnostics shape
+
+#[test]
+fn violations_carry_file_line_and_sort_deterministically() {
+    let src = "\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let vs = lint_source(SIM, src);
+    assert_eq!(vs.len(), 1);
+    assert_eq!(vs[0].file, SIM);
+    assert_eq!(vs[0].line, 3);
+    let rendered = vs[0].to_string();
+    assert!(
+        rendered.starts_with("crates/memctrl/src/fixture.rs:3: [panic-policy]"),
+        "{rendered}"
+    );
+}

@@ -8,7 +8,7 @@ use mellow_core::{
     WritePolicy, WriteSpeed,
 };
 use mellow_engine::stats::{BusyTracker, Histogram};
-use mellow_engine::{Duration, SimTime, TimerQueue};
+use mellow_engine::{Duration, MemCycles, SimTime, TimerQueue};
 use mellow_nvm::energy::EnergyAccount;
 use mellow_nvm::{
     CancelWear, EnduranceModel, LifetimeModel, LifetimeProjection, StartGap, WearLedger,
@@ -479,9 +479,9 @@ impl Controller {
     /// Batch-applies `edges` skipped memory-clock edges on which
     /// `tick`'s fast path would have run: each rotates the round-robin
     /// origin once and changes nothing else.
-    pub fn fast_forward_idle(&mut self, edges: u64) {
+    pub fn fast_forward_idle(&mut self, edges: MemCycles) {
         let n = self.banks.len() as u64;
-        self.rr_start = ((self.rr_start as u64 + edges % n) % n) as usize;
+        self.rr_start = ((self.rr_start as u64 + edges.count() % n) % n) as usize;
     }
 
     /// Removes and returns the next completed read's line address.
@@ -684,11 +684,9 @@ impl Controller {
             let pulse = op.end.saturating_since(op.pulse_start);
             let done = now.saturating_since(op.pulse_start);
             // Fraction of this *segment* driven so far.
-            let segment_fraction = if pulse == Duration::ZERO {
-                0.0
-            } else {
-                (done.as_ps() as f64 / pulse.as_ps() as f64).clamp(0.0, 1.0)
-            };
+            // `fraction_of` is 0.0 on an empty pulse, and `done` is
+            // clamped below `pulse` by the `now < op.end` guard above.
+            let segment_fraction = done.fraction_of(pulse).clamp(0.0, 1.0);
             // Fraction of the whole pulse driven (across pause resumes).
             let progress = 1.0 - op.remaining_at_start + op.remaining_at_start * segment_fraction;
             // Threshold rule [18]: a nearly-finished pulse runs to
@@ -1060,12 +1058,12 @@ mod tests {
             for i in 0..edges.min(10_000) {
                 ticked.tick(SimTime::from_ps(i * 2500));
             }
-            jumped.fast_forward_idle(edges.min(10_000));
+            jumped.fast_forward_idle(MemCycles::new(edges.min(10_000)));
             assert_eq!(ticked.rr_start, jumped.rr_start, "{edges} edges");
         }
         // Rotation is modular, so huge skips need no iteration at all.
         let mut far = mk();
-        far.fast_forward_idle(1_000_003);
+        far.fast_forward_idle(MemCycles::new(1_000_003));
         let banks = far.banks.len() as u64;
         assert_eq!(far.rr_start as u64, 1_000_003 % banks);
     }

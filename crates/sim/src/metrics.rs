@@ -3,7 +3,7 @@
 use crate::SystemConfig;
 use mellow_cache::{Cache, CacheStats};
 use mellow_cpu::Core;
-use mellow_engine::{Duration, SimTime};
+use mellow_engine::{CoreCycles, Duration, SimTime};
 use mellow_memctrl::{Controller, CtrlStats};
 use mellow_nvm::energy::{EnergyAccount, EnergyModel};
 
@@ -17,8 +17,13 @@ pub struct Metrics {
     pub policy: String,
     /// Instructions retired in the measured window.
     pub instructions: u64,
+    /// Loads dispatched by the core (memory reference mix, numerator of
+    /// the read share).
+    pub loads: u64,
+    /// Stores dispatched by the core.
+    pub stores: u64,
     /// Core cycles in the measured window.
-    pub core_cycles: u64,
+    pub core_cycles: CoreCycles,
     /// Instructions per cycle.
     pub ipc: f64,
     /// Simulated time measured, in seconds.
@@ -74,6 +79,8 @@ impl Metrics {
             workload: workload.to_owned(),
             policy: cfg.policy.to_string(),
             instructions,
+            loads: core.stats().loads,
+            stores: core.stats().stores,
             core_cycles: core.cycles(),
             ipc: core.ipc(),
             elapsed_secs: elapsed.as_secs_f64(),
@@ -158,6 +165,8 @@ impl mellow_engine::json::JsonField for Metrics {
             workload,
             policy,
             instructions,
+            loads,
+            stores,
             core_cycles,
             ipc,
             elapsed_secs,
@@ -182,6 +191,8 @@ impl mellow_engine::json::JsonField for Metrics {
                 workload,
                 policy,
                 instructions,
+                loads,
+                stores,
                 core_cycles,
                 ipc,
                 elapsed_secs,
@@ -211,7 +222,9 @@ mod tests {
             workload: "stream".into(),
             policy: "Norm".into(),
             instructions: 1000,
-            core_cycles: 2000,
+            loads: 0,
+            stores: 0,
+            core_cycles: CoreCycles::new(2000),
             ipc: 0.5,
             elapsed_secs: 1e-6,
             mpki: 12.3,
@@ -248,7 +261,9 @@ mod tests {
             workload: "gups".into(),
             policy: "BE-Mellow+SC".into(),
             instructions: 1_000_000,
-            core_cycles: 2_000_000,
+            loads: 0,
+            stores: 0,
+            core_cycles: CoreCycles::new(2_000_000),
             ipc: 0.5,
             elapsed_secs: 1e-3,
             mpki: 8.91,
@@ -297,7 +312,9 @@ mod tests {
             workload: "w".into(),
             policy: "p".into(),
             instructions: 0,
-            core_cycles: 0,
+            loads: 0,
+            stores: 0,
+            core_cycles: CoreCycles::ZERO,
             ipc: 0.0,
             elapsed_secs: 0.0,
             mpki: 0.0,
@@ -325,7 +342,9 @@ mod tests {
             workload: "w".into(),
             policy: "p".into(),
             instructions: 0,
-            core_cycles: 0,
+            loads: 0,
+            stores: 0,
+            core_cycles: CoreCycles::ZERO,
             ipc: 0.0,
             elapsed_secs: 0.0,
             mpki: 0.0,

@@ -3,7 +3,7 @@
 use crate::{Metrics, SystemConfig};
 use mellow_cache::{line_of, AccessId, Cache};
 use mellow_cpu::{Core, CoreStall, ReqId, TraceSource};
-use mellow_engine::{DetRng, SimTime};
+use mellow_engine::{CoreCycles, DetRng, SimTime};
 use mellow_memctrl::Controller;
 
 /// Drains one output queue into a consumer: items transfer in order
@@ -52,7 +52,7 @@ pub struct System {
     llc: Cache,
     ctrl: Controller,
     eager_rng: DetRng,
-    cycle: u64,
+    cycle: CoreCycles,
     now: SimTime,
     measure_start: SimTime,
     next_sample_at: SimTime,
@@ -107,7 +107,7 @@ impl System {
             llc,
             ctrl,
             eager_rng,
-            cycle: 0,
+            cycle: CoreCycles::ZERO,
             now: SimTime::ZERO,
             measure_start: SimTime::ZERO,
             next_sample_at,
@@ -153,8 +153,8 @@ impl System {
 
     /// Advances the system by one core cycle.
     pub fn tick(&mut self) {
-        self.cycle += 1;
-        self.now = self.cfg.core_clock.cycles_to_time(self.cycle);
+        self.cycle += CoreCycles::ONE;
+        self.now = self.cycle.edge(&self.cfg.core_clock);
         let now = self.now;
 
         // Core: retire, dispatch, and issue memory ops into the L1.
@@ -261,9 +261,9 @@ impl System {
             return;
         }
 
-        let core_ps = self.cfg.core_clock.period().as_ps();
-        // First core cycle whose time is at or past `t`.
-        let cycle_at = |t: SimTime| t.as_ps().div_ceil(core_ps);
+        let clock = self.cfg.core_clock;
+        // First core cycle whose edge is at or past `t`.
+        let cycle_at = |t: SimTime| CoreCycles::at_or_after(t, &clock);
 
         // The jump clamps at the next utility-monitor sample boundary.
         let mut next = cycle_at(self.next_sample_at);
@@ -275,13 +275,13 @@ impl System {
         if let Some(t) = self.ctrl.next_event() {
             // The controller acts on the first memory-clock edge at or
             // past its horizon (and no earlier than the next cycle).
-            let c = cycle_at(t).max(self.cycle + 1);
+            let c = cycle_at(t).max(self.cycle + CoreCycles::ONE);
             next = next.min(c.next_multiple_of(self.mem_divisor));
         }
-        if next <= self.cycle + 1 {
+        if next <= self.cycle + CoreCycles::ONE {
             return; // something acts on the very next cycle
         }
-        let skip_to = next - 1;
+        let skip_to = next - CoreCycles::ONE;
 
         let start = self.cycle;
         let mut c = skip_to;
@@ -299,10 +299,9 @@ impl System {
         {
             c = start;
             while c < skip_to {
-                c += 1;
+                c += CoreCycles::ONE;
                 if let Some(line) = self.llc.eager_candidate(&mut self.eager_rng) {
-                    self.ctrl
-                        .try_eager(line, self.cfg.core_clock.cycles_to_time(c));
+                    self.ctrl.try_eager(line, c.edge(&clock));
                     break;
                 }
             }
@@ -318,9 +317,9 @@ impl System {
             }
         }
         self.ctrl
-            .fast_forward_idle(c / self.mem_divisor - start / self.mem_divisor);
+            .fast_forward_idle(c.to_mem(self.mem_divisor) - start.to_mem(self.mem_divisor));
         self.cycle = c;
-        self.now = self.cfg.core_clock.cycles_to_time(c);
+        self.now = c.edge(&clock);
     }
 
     /// Runs until `n` more instructions retire.
@@ -341,7 +340,7 @@ impl System {
     /// cycles (a deadlock would otherwise spin forever).
     pub fn run_instructions(&mut self, n: u64) {
         let target = self.core.retired_instructions() + n;
-        let cycle_cap = self.cycle + 400 * n + 10_000_000;
+        let cycle_cap = self.cycle + CoreCycles::new(400 * n + 10_000_000);
         let cycle_loop = self.cfg.use_cycle_loop;
         while self.core.retired_instructions() < target {
             self.tick();
@@ -352,7 +351,7 @@ impl System {
             }
             assert!(
                 self.cycle < cycle_cap,
-                "no forward progress: {} of {} instructions after {} cycles",
+                "no forward progress: {} of {} instructions after {}",
                 self.core.retired_instructions(),
                 target,
                 self.cycle
