@@ -637,7 +637,7 @@ pub fn calibrate(scale: Scale, settings: &SweepSettings) -> String {
 }
 
 /// Ablation — sensitivity of the reproduction's own design knobs (the
-/// deviations documented in DESIGN.md §8): the write-cancellation
+/// deviations documented in DESIGN.md §9): the write-cancellation
 /// completion threshold and retry cap, the Eager Mellow queue depth,
 /// and the cancelled-write wear-charging policy.
 pub fn ablate(scale: Scale, settings: &SweepSettings) -> String {
@@ -720,6 +720,102 @@ pub fn ablate(scale: Scale, settings: &SweepSettings) -> String {
             m.ctrl.writes_cancelled,
             m.slow_write_fraction * 100.0
         );
+    }
+    s
+}
+
+/// The fault/degradation sweep (not a paper artifact): fault rate x
+/// verify-retry budget on the write-heavy `gups` workload with
+/// endurance variation on, reporting verify failures, remaps,
+/// uncorrectable losses, the usable-capacity fraction, and the
+/// capacity-threshold lifetimes beside the first-failure projection.
+/// The table is also written as `BENCH_faults.json` at the repository
+/// root (overwritten, not appended: it is a curve, not a trajectory)
+/// so CI can upload the degradation curve as an artifact.
+pub fn faults(scale: Scale, settings: &SweepSettings) -> String {
+    use crate::trajectory::repo_root;
+    use mellow_engine::json::Json;
+
+    const WORKLOAD: &str = "gups";
+    const RATES: [f64; 3] = [0.0, 0.005, 0.02];
+    const BUDGETS: [u32; 3] = [0, 1, 4];
+    let mut cells = Vec::new();
+    for &rate in &RATES {
+        for &budget in &BUDGETS {
+            cells.push(
+                Cell::new(WORKLOAD, WritePolicy::be_mellow_sc()).with_edit(move |c| {
+                    c.mem.fault.enabled = true;
+                    c.mem.fault.endurance_sigma = 0.25;
+                    c.mem.fault.transient_rate = rate;
+                    c.mem.max_write_retries = budget;
+                    c.mem.spares_per_bank = 4;
+                }),
+            );
+        }
+    }
+    let results = settings
+        .apply(Sweep::new(scale).cells(cells))
+        .run()
+        .expect("gups is a Table IV name");
+
+    let mut s = String::from(
+        "\n=== Fault sweep: transient rate x retry budget (gups, BE-Mellow+SC, sigma 0.25) ===\n",
+    );
+    let _ = writeln!(
+        s,
+        "{:<22} {:>7} {:>7} {:>7} {:>6} {:>8} {:>9} {:>10} {:>10}",
+        "variant",
+        "vfails",
+        "retry",
+        "remaps",
+        "lost",
+        "usable%",
+        "life(yr)",
+        "cap99(yr)",
+        "cap95(yr)"
+    );
+    let mut rows: Vec<Json> = Vec::new();
+    for (i, r) in results.iter().enumerate() {
+        let rate = RATES[i / BUDGETS.len()];
+        let budget = BUDGETS[i % BUDGETS.len()];
+        let m = &r.metrics;
+        let f = &m.faults;
+        let _ = writeln!(
+            s,
+            "rate {rate:<6} retries {budget} {:>7} {:>7} {:>7} {:>6} {:>7.2}% {:>9.2} {:>10.2} {:>10.2}",
+            f.verify_failures,
+            f.retries,
+            f.remaps,
+            f.uncorrectable,
+            m.usable_capacity_fraction * 100.0,
+            m.lifetime_years,
+            m.capacity_99_years,
+            m.capacity_95_years,
+        );
+        rows.push(Json::obj([
+            ("workload", Json::from(WORKLOAD)),
+            ("transient_rate", Json::from(rate)),
+            ("max_write_retries", Json::from(budget as u64)),
+            ("verify_failures", Json::from(f.verify_failures)),
+            ("retries", Json::from(f.retries)),
+            ("remaps", Json::from(f.remaps)),
+            ("spares_remaining", Json::from(f.spares_remaining)),
+            ("uncorrectable", Json::from(f.uncorrectable)),
+            (
+                "usable_capacity_fraction",
+                Json::from(m.usable_capacity_fraction),
+            ),
+            ("lifetime_years", Json::from(m.lifetime_years)),
+            ("capacity_99_years", Json::from(m.capacity_99_years)),
+            ("capacity_95_years", Json::from(m.capacity_95_years)),
+        ]));
+    }
+    let path = repo_root().join("BENCH_faults.json");
+    match std::fs::write(&path, Json::Arr(rows).to_string()) {
+        Ok(()) => {
+            let _ = writeln!(s, "degradation curve written to {}", path.display());
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
     s
 }

@@ -230,6 +230,80 @@ fn l4_ignores_non_stats_structs() {
     assert!(!rules_fired(src).contains(&Rule::StatsExhaustiveness));
 }
 
+// ------------------------------------------- fault-layer coverage (PR 5)
+
+/// The fault layer's home: a simulation crate, so L1–L4 all apply.
+const FAULT: &str = "crates/nvm/src/fault.rs";
+
+#[test]
+fn l2_covers_fault_state_tables() {
+    // A block-failure table iterated in hash order would make spare
+    // allocation (and therefore which write gets lost) depend on the
+    // map's layout — exactly the replay bug L2 exists to stop.
+    let src = "
+        use std::collections::HashMap;
+        pub struct FaultState { blocks: HashMap<(usize, u64), f64> }
+        impl FaultState {
+            pub fn worst(&self) -> f64 {
+                let mut worst = 0.0f64;
+                for w in self.blocks.values() { worst = worst.max(*w); }
+                worst
+            }
+        }
+    ";
+    let vs = lint_source(FAULT, src);
+    assert!(
+        vs.iter()
+            .any(|v| v.rule == Rule::Determinism && v.message.contains("blocks")),
+        "hash-order block-table scan must fire L2, got {vs:?}"
+    );
+}
+
+#[test]
+fn l2_clean_keyed_fault_lookup_passes() {
+    // The real fault table only ever does keyed lookups and inserts —
+    // verify the rule does not tax that shape.
+    let src = "
+        use std::collections::HashMap;
+        pub struct FaultState { blocks: HashMap<(usize, u64), f64> }
+        impl FaultState {
+            pub fn wear(&self, bank: usize, block: u64) -> f64 {
+                self.blocks.get(&(bank, block)).copied().unwrap_or(0.0)
+            }
+            pub fn charge(&mut self, bank: usize, block: u64, w: f64) {
+                *self.blocks.entry((bank, block)).or_insert(0.0) += w;
+            }
+            pub fn tracked(&self) -> usize { self.blocks.len() }
+        }
+    ";
+    assert!(!rules_fired(src).contains(&Rule::Determinism));
+}
+
+#[test]
+fn l4_covers_fault_stats_counters() {
+    // A FaultStats counter that is bumped on the verify path but never
+    // reported is dead telemetry — the exact bug class L4 guards the
+    // real `memctrl::FaultStats` against.
+    let src = "
+        pub struct FaultStats { pub verify_failures: u64, pub remaps: u64 }
+        impl Ctrl {
+            fn on_verify_failure(&mut self) { self.fault_stats.verify_failures += 1; }
+            fn on_remap(&mut self) { self.fault_stats.remaps += 1; }
+            fn report(&self) -> u64 { self.fault_stats.verify_failures }
+        }
+    ";
+    let vs = lint_source(SIM, src);
+    assert!(
+        vs.iter()
+            .any(|v| v.rule == Rule::StatsExhaustiveness && v.message.contains("remaps")),
+        "write-only `remaps` must fire L4, got {vs:?}"
+    );
+    assert!(
+        !vs.iter().any(|v| v.message.contains("verify_failures")),
+        "`verify_failures` accumulates and reports, got {vs:?}"
+    );
+}
+
 // ------------------------------------------------------- diagnostics shape
 
 #[test]

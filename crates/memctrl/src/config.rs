@@ -1,6 +1,7 @@
 //! Memory-system configuration (Table II of the paper).
 
 use mellow_engine::{Clock, Duration};
+use mellow_nvm::FaultConfig;
 
 /// Geometry and timing of the resistive main memory (Table II).
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +62,19 @@ pub struct MemConfig {
     pub startgap_interval: u32,
     /// Wear-leveling efficiency η used for lifetime projection.
     pub leveling_efficiency: f64,
+    /// Write-verify retry budget: a write whose verify fails is retried
+    /// up to this many times (each retry charges wear and bank busy
+    /// time) before its block is remapped to a spare.
+    pub max_write_retries: u32,
+    /// Spare blocks per bank backing the verify/retry/remap path; once
+    /// a bank's pool is exhausted, further remap requests declare the
+    /// block's data lost and shrink usable capacity.
+    pub spares_per_bank: u64,
+    /// Fault-injection layer (endurance variation, stuck-at blocks,
+    /// transient write failures). Disabled by default: no fault state
+    /// is constructed and the controller is bit-identical to a
+    /// faultless build.
+    pub fault: FaultConfig,
 }
 
 impl MemConfig {
@@ -89,6 +103,9 @@ impl MemConfig {
             use_scan_queues: false,
             startgap_interval: 100,
             leveling_efficiency: 0.9,
+            max_write_retries: 2,
+            spares_per_bank: 8,
+            fault: FaultConfig::disabled(),
         }
     }
 
@@ -178,6 +195,7 @@ impl MemConfig {
             (0.0..=1.0).contains(&self.cancel_threshold),
             "cancel threshold must be in [0, 1]"
         );
+        self.fault.validate();
     }
 }
 

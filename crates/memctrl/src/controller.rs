@@ -11,7 +11,8 @@ use mellow_engine::stats::{BusyTracker, Histogram};
 use mellow_engine::{Duration, MemCycles, SimTime, TimerQueue};
 use mellow_nvm::energy::EnergyAccount;
 use mellow_nvm::{
-    CancelWear, EnduranceModel, LifetimeModel, LifetimeProjection, StartGap, WearLedger,
+    CancelWear, EnduranceModel, FaultState, LifetimeModel, LifetimeProjection, StartGap,
+    WearLedger, WriteVerify,
 };
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -130,6 +131,57 @@ impl CtrlStats {
     }
 }
 
+/// Counters for the fault layer's write-verify → retry → remap path.
+///
+/// `spares_remaining` is a gauge (the current unallocated spare-pool
+/// size, summed over banks); the other fields are monotone counters.
+/// Every verify failure is resolved exactly one way, so
+/// `verify_failures == retries + remaps + uncorrectable` at any drain
+/// point.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// Write completions whose verify step failed (stuck-at block,
+    /// endurance exhaustion, or a transient fault).
+    pub verify_failures: u64,
+    /// Failed writes re-queued for another attempt within the
+    /// [`MemConfig::max_write_retries`] budget.
+    pub retries: u64,
+    /// Blocks remapped to a per-bank spare after exhausting their retry
+    /// budget.
+    pub remaps: u64,
+    /// Spare blocks still unallocated, summed over banks.
+    pub spares_remaining: u64,
+    /// Writes dropped with data loss: the retry budget and the bank's
+    /// spare pool were both exhausted.
+    pub uncorrectable: u64,
+}
+
+impl mellow_engine::json::JsonField for FaultStats {
+    fn to_json(&self) -> mellow_engine::json::Json {
+        mellow_engine::json_fields_to!(
+            self,
+            verify_failures,
+            retries,
+            remaps,
+            spares_remaining,
+            uncorrectable,
+        )
+    }
+
+    fn from_json(v: &mellow_engine::json::Json) -> Option<FaultStats> {
+        mellow_engine::json_fields_from!(
+            v,
+            FaultStats {
+                verify_failures,
+                retries,
+                remaps,
+                spares_remaining,
+                uncorrectable,
+            }
+        )
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum OpKind {
     Read,
@@ -149,6 +201,9 @@ struct InFlight {
     factor: f64,
     cancellable: bool,
     cancels: u32,
+    /// Verify-retry attempts this write has already consumed (fault
+    /// layer); carried from the queue entry so cancels preserve it.
+    retries: u32,
     enq: SimTime,
     /// Fraction of the pulse outstanding when this segment started.
     remaining_at_start: f64,
@@ -249,6 +304,11 @@ pub struct Controller {
     drain_tracker: BusyTracker,
     energy: EnergyAccount,
     stats: CtrlStats,
+    /// Fault-injection state; `None` whenever `cfg.fault.enabled` is
+    /// false, so a disabled controller runs zero fault branches and
+    /// draws no fault randomness (the additivity guarantee).
+    faults: Option<FaultState>,
+    fault_stats: FaultStats,
     next_serial: u64,
     rr_start: usize,
     /// No tick strictly before this time can act (see
@@ -280,6 +340,16 @@ impl Controller {
             WearQuota::new(qc, banks)
         });
         let sample_period = cfg.sample_period;
+        // One extra physical block per bank: Start-Gap's gap spare.
+        let faults = cfg.fault.enabled.then(|| {
+            FaultState::new(
+                cfg.fault,
+                &endurance,
+                banks,
+                cfg.blocks_per_bank() + 1,
+                cfg.spares_per_bank,
+            )
+        });
         Controller {
             queues: RequestQueues::new(banks, cfg.use_scan_queues),
             pending_line_writes: HashMap::new(),
@@ -299,6 +369,8 @@ impl Controller {
             drain_tracker: BusyTracker::new(),
             energy: EnergyAccount::default(),
             stats: CtrlStats::default(),
+            faults,
+            fault_stats: FaultStats::default(),
             next_serial: 0,
             rr_start: 0,
             next_actionable: SimTime::ZERO,
@@ -396,6 +468,7 @@ impl Controller {
             data_resident: false,
             cancels: 0,
             remaining: 1.0,
+            retries: 0,
         });
         self.stats.reads_accepted += 1;
         self.next_actionable = SimTime::ZERO;
@@ -418,6 +491,7 @@ impl Controller {
             data_resident: false,
             cancels: 0,
             remaining: 1.0,
+            retries: 0,
         });
         *self.pending_line_writes.entry(line).or_insert(0) += 1;
         self.stats.demand_writes_accepted += 1;
@@ -449,6 +523,7 @@ impl Controller {
             data_resident: false,
             cancels: 0,
             remaining: 1.0,
+            retries: 0,
         });
         *self.pending_line_writes.entry(line).or_insert(0) += 1;
         self.stats.eager_writes_accepted += 1;
@@ -610,6 +685,9 @@ impl Controller {
     }
 
     fn complete_write(&mut self, bank_idx: usize, op: InFlight) {
+        if self.faults.is_some() && !self.verify_write(bank_idx, &op) {
+            return;
+        }
         match self.pending_line_writes.entry(op.line) {
             Entry::Occupied(mut e) => {
                 if *e.get() <= 1 {
@@ -639,6 +717,93 @@ impl Controller {
         }
         if op.kind == OpKind::EagerWrite {
             self.stats.eager_completed += 1;
+        }
+    }
+
+    /// Runs the fault layer's verify step for a completing write pulse.
+    /// Returns `true` when the write verified clean and should complete
+    /// normally. A failed pulse still drove the cells, so its wear and
+    /// energy are charged here; the write is then retried (within the
+    /// [`MemConfig::max_write_retries`] budget), remapped to a spare
+    /// block, or — with the spare pool exhausted — dropped as an
+    /// uncorrectable loss.
+    fn verify_write(&mut self, bank_idx: usize, op: &InFlight) -> bool {
+        let phys = self.startgaps[bank_idx].remap(op.mapping.block);
+        let wear = self.endurance.wear_per_write(op.factor);
+        let verdict = self
+            .faults
+            .as_mut()
+            .expect("verify_write requires fault state")
+            .verify_write(bank_idx, phys, wear);
+        if verdict == WriteVerify::Ok {
+            return true;
+        }
+        self.fault_stats.verify_failures += 1;
+        // The pulse physically happened: wear and energy accrue, but no
+        // completion counter and no Start-Gap progress (the data never
+        // landed, so there is nothing leveled to rotate).
+        self.ledger.record_write(bank_idx, Some(phys), op.factor);
+        if op.factor > 1.0 {
+            self.energy.add_slow_write();
+        } else {
+            self.energy.add_normal_write();
+        }
+        match verdict {
+            WriteVerify::Ok => unreachable!("handled above"),
+            WriteVerify::Lost => self.drop_lost_write(op),
+            WriteVerify::Failed => {
+                if op.retries < self.cfg.max_write_retries {
+                    self.fault_stats.retries += 1;
+                    self.requeue_failed(bank_idx, op, op.retries + 1);
+                } else if self
+                    .faults
+                    .as_mut()
+                    .expect("verify_write requires fault state")
+                    .remap(bank_idx, phys)
+                {
+                    // A fresh spare: the retry budget starts over.
+                    self.fault_stats.remaps += 1;
+                    self.requeue_failed(bank_idx, op, 0);
+                } else {
+                    self.drop_lost_write(op);
+                }
+            }
+        }
+        false
+    }
+
+    /// Re-queues a verify-failed write at the front of its queue (age
+    /// priority preserved, like a cancel). The data is still latched at
+    /// the bank, so the retry skips the bus transfer, and the line stays
+    /// in the pending index — reads keep forwarding from it.
+    fn requeue_failed(&mut self, bank_idx: usize, op: &InFlight, retries: u32) {
+        let req = QueuedReq {
+            line: op.line,
+            bank: bank_idx,
+            row: op.mapping.row,
+            enq: op.enq,
+            data_resident: true,
+            cancels: op.cancels,
+            remaining: 1.0,
+            retries,
+        };
+        self.queues
+            .requeue_front(req, op.kind == OpKind::EagerWrite);
+    }
+
+    /// Drops a write whose data cannot be preserved (stuck block with no
+    /// spares left): counts the loss and releases the pending-line entry.
+    fn drop_lost_write(&mut self, op: &InFlight) {
+        self.fault_stats.uncorrectable += 1;
+        match self.pending_line_writes.entry(op.line) {
+            Entry::Occupied(mut e) => {
+                if *e.get() <= 1 {
+                    e.remove();
+                } else {
+                    *e.get_mut() -= 1;
+                }
+            }
+            Entry::Vacant(_) => debug_assert!(false, "lost write missing from line index"),
         }
     }
 
@@ -738,6 +903,7 @@ impl Controller {
                 data_resident: in_pulse,
                 cancels: op.cancels + 1,
                 remaining,
+                retries: op.retries,
             };
             self.queues
                 .requeue_front(req, op.kind == OpKind::EagerWrite);
@@ -855,6 +1021,7 @@ impl Controller {
             factor: 1.0,
             cancellable: false,
             cancels: 0,
+            retries: 0,
             enq: req.enq,
             remaining_at_start: 0.0,
             pulse_start: end,
@@ -915,6 +1082,7 @@ impl Controller {
             factor,
             cancellable: self.policy.cancellable(speed),
             cancels: req.cancels,
+            retries: req.retries,
             enq: req.enq,
             remaining_at_start: req.remaining,
             pulse_start,
@@ -980,6 +1148,50 @@ impl Controller {
         model.project(&self.ledger, elapsed)
     }
 
+    /// Returns the fault-layer counters with the spares-remaining gauge
+    /// filled in. With faults disabled the gauge reports the full
+    /// (untouched) spare pool, so a disabled controller serializes
+    /// identically to an enabled one whose fault knobs are all zero.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut s = self.fault_stats.clone();
+        s.spares_remaining = match &self.faults {
+            Some(f) => f.total_spares_remaining(),
+            None => self.cfg.num_banks as u64 * self.cfg.spares_per_bank,
+        };
+        s
+    }
+
+    /// Fraction of physical blocks still usable: 1.0 until spare
+    /// exhaustion starts declaring blocks lost.
+    pub fn usable_capacity_fraction(&self) -> f64 {
+        self.faults.as_ref().map_or(1.0, |f| f.usable_fraction())
+    }
+
+    /// Blocks declared lost after their bank's spare pool ran dry.
+    pub fn lost_blocks(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.lost_blocks())
+    }
+
+    /// Projects the years until the usable-capacity fraction drops below
+    /// `capacity_fraction`, from the wear accumulated over `elapsed`
+    /// (see [`LifetimeModel::years_to_capacity`]). Uses the configured
+    /// endurance variation when faults are enabled; with faults disabled
+    /// every block fails at the nominal endurance and the projection
+    /// collapses onto the first-failure lifetime.
+    pub fn capacity_years(&self, elapsed: Duration, capacity_fraction: f64) -> f64 {
+        let model = LifetimeModel::new(
+            self.endurance.base_endurance(),
+            self.cfg.blocks_per_bank(),
+            self.cfg.leveling_efficiency,
+        );
+        let sigma = if self.cfg.fault.enabled {
+            self.cfg.fault.endurance_sigma
+        } else {
+            0.0
+        };
+        model.years_to_capacity(&self.ledger, elapsed, sigma, capacity_fraction)
+    }
+
     /// Returns the current read/write/eager queue occupancies.
     pub fn queue_depths(&self) -> (usize, usize, usize) {
         (
@@ -1004,14 +1216,15 @@ impl Controller {
     pub fn reset_stats(&mut self, now: SimTime) {
         self.stats = CtrlStats::default();
         self.energy = EnergyAccount::default();
-        let tracking = self.ledger.block_table().is_some();
-        self.ledger = WearLedger::new(self.cfg.num_banks, self.endurance, self.cancel_wear);
-        if tracking {
-            self.ledger = self
-                .ledger
-                .clone()
-                .with_block_tracking(self.cfg.blocks_per_bank() + 1);
+        // Fault *counters* reset with the measurement window; the fault
+        // *state* (wear limits, stuck blocks, consumed spares) is device
+        // state and persists, like the Start-Gap registers.
+        self.fault_stats = FaultStats::default();
+        let mut ledger = WearLedger::new(self.cfg.num_banks, self.endurance, self.cancel_wear);
+        if self.ledger.block_table().is_some() {
+            ledger = ledger.with_block_tracking(self.cfg.blocks_per_bank() + 1);
         }
+        self.ledger = ledger;
         for bank in &mut self.banks {
             bank.busy_time = Duration::ZERO;
         }
@@ -1066,5 +1279,95 @@ mod tests {
         far.fast_forward_idle(MemCycles::new(1_000_003));
         let banks = far.banks.len() as u64;
         assert_eq!(far.rr_start as u64, 1_000_003 % banks);
+    }
+
+    fn small_cfg() -> MemConfig {
+        let mut cfg = MemConfig::paper_default();
+        cfg.capacity_bytes = 1 << 20;
+        cfg.num_banks = 4;
+        cfg.num_ranks = 1;
+        cfg
+    }
+
+    fn drain(c: &mut Controller, cycles: u64) {
+        for i in 1..=cycles {
+            c.tick(SimTime::from_ps(i * 2500));
+        }
+    }
+
+    #[test]
+    fn failing_write_consumes_retries_then_spare_then_loses_data() {
+        let mut cfg = small_cfg();
+        cfg.max_write_retries = 1;
+        cfg.spares_per_bank = 1;
+        cfg.fault.enabled = true;
+        cfg.fault.transient_rate = 1.0; // every verify fails
+        let mut c = Controller::new(
+            cfg,
+            WritePolicy::norm(),
+            EnduranceModel::reram_default(),
+            CancelWear::Prorated,
+        );
+        assert!(c.try_write(7, SimTime::ZERO));
+        drain(&mut c, 10_000);
+        // Attempt 1 retries, attempt 2 exhausts the budget and remaps,
+        // attempt 3 retries on the spare, attempt 4 finds no spare left.
+        let f = c.fault_stats();
+        assert_eq!(f.verify_failures, 4);
+        assert_eq!(f.retries, 2);
+        assert_eq!(f.remaps, 1);
+        assert_eq!(f.uncorrectable, 1);
+        assert_eq!(f.verify_failures, f.retries + f.remaps + f.uncorrectable);
+        // The write's bank drained its single spare; the other three
+        // banks' pools are untouched.
+        assert_eq!(f.spares_remaining, 3);
+        assert_eq!(c.lost_blocks(), 1);
+        assert!(c.usable_capacity_fraction() < 1.0);
+        // Nothing completed, but all four driven pulses charged wear.
+        assert_eq!(c.stats().writes_completed_normal, 0);
+        assert!((c.ledger().total_wear() - 4.0).abs() < 1e-12);
+        // The lost line left the pending index: a later read must go to
+        // the array instead of forwarding stale write data.
+        assert!(c.try_read(7, SimTime::from_ps(10_001 * 2500)));
+        assert_eq!(c.stats().reads_forwarded, 0);
+    }
+
+    #[test]
+    fn clean_fault_layer_leaves_writes_untouched() {
+        let mut cfg = small_cfg();
+        cfg.fault.enabled = true; // all knobs zero: nothing can fail
+        let mut c = Controller::new(
+            cfg,
+            WritePolicy::norm(),
+            EnduranceModel::reram_default(),
+            CancelWear::Prorated,
+        );
+        assert!(c.try_write(3, SimTime::ZERO));
+        drain(&mut c, 1_000);
+        assert_eq!(c.stats().writes_completed_normal, 1);
+        let f = c.fault_stats();
+        assert_eq!(f.verify_failures, 0);
+        assert_eq!(f.spares_remaining, 4 * 8);
+        assert_eq!(c.usable_capacity_fraction(), 1.0);
+    }
+
+    #[test]
+    fn disabled_faults_report_the_full_spare_pool() {
+        let c = Controller::new(
+            small_cfg(),
+            WritePolicy::norm(),
+            EnduranceModel::reram_default(),
+            CancelWear::Prorated,
+        );
+        let f = c.fault_stats();
+        assert_eq!(
+            f,
+            FaultStats {
+                spares_remaining: 4 * 8,
+                ..FaultStats::default()
+            }
+        );
+        assert_eq!(c.usable_capacity_fraction(), 1.0);
+        assert_eq!(c.lost_blocks(), 0);
     }
 }

@@ -19,7 +19,7 @@ mod controller;
 mod queues;
 
 pub use config::{LineMapping, MemConfig};
-pub use controller::{Controller, CtrlStats};
+pub use controller::{Controller, CtrlStats, FaultStats};
 
 #[cfg(test)]
 mod tests {

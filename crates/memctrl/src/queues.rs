@@ -35,6 +35,9 @@ pub(crate) struct QueuedReq {
     /// Fraction of the write pulse still to drive (1.0 for a fresh
     /// write; less after `+WP` pauses).
     pub(crate) remaining: f64,
+    /// Verify-retry attempts consumed so far (fault layer); resets to
+    /// zero after a remap to a spare block.
+    pub(crate) retries: u32,
 }
 
 /// A handle to one read chosen by [`RequestQueues::pick_read`], valid
@@ -313,6 +316,7 @@ mod tests {
             data_resident: false,
             cancels: 0,
             remaining: 1.0,
+            retries: 0,
         }
     }
 

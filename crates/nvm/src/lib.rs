@@ -20,7 +20,11 @@
 //! - [`LifetimeModel`] — projects multi-year memory lifetime from the
 //!   wear rate observed in a short simulation, exactly as the paper does
 //!   ("assume the system will cyclically execute the same execution
-//!   pattern").
+//!   pattern"), plus a capacity-degradation projection (years until the
+//!   usable-capacity fraction drops below a threshold).
+//! - [`fault`] — per-block endurance variation, stuck-at and transient
+//!   fault injection, and the spare-pool/lost-block accounting behind
+//!   the controller's write-verify → retry → remap path.
 //!
 //! # Examples
 //!
@@ -36,11 +40,13 @@
 
 mod endurance;
 pub mod energy;
+pub mod fault;
 mod lifetime;
 mod startgap;
 mod wear;
 
 pub use endurance::{EnduranceModel, ExpoFactor};
+pub use fault::{FaultConfig, FaultState, WriteVerify};
 pub use lifetime::{LifetimeModel, LifetimeProjection, SECONDS_PER_YEAR};
 pub use startgap::StartGap;
 pub use wear::{BankWear, BlockWearTable, CancelWear, WearLedger};

@@ -152,6 +152,115 @@ impl LifetimeModel {
             self.endurance_per_block / (max_wear / elapsed.as_secs_f64()) / SECONDS_PER_YEAR
         })
     }
+
+    /// Projects the time until usable capacity drops below
+    /// `capacity_fraction` (e.g. `0.95` for the years-to-95%-capacity
+    /// figure), under lognormal per-block endurance variation of sigma
+    /// `endurance_sigma` around the block endurance.
+    ///
+    /// Framing lifetime as capacity decay instead of a first-failure
+    /// cliff (Escuin et al.): with leveling spreading a bank's wear
+    /// evenly, blocks fail in ascending order of their sampled limits,
+    /// so capacity falls below fraction `q` once per-block wear reaches
+    /// the `(1 − q)` quantile of the limit distribution,
+    /// `Endur_blk · exp(sigma · Φ⁻¹(1 − q))`. The projection divides
+    /// that by the observed per-block wear rate
+    /// (`bank wear / (η · BlkNum)` per second) and takes the minimum
+    /// over banks. With `endurance_sigma = 0` every threshold collapses
+    /// to the first-failure projection ([`project`](Self::project)'s
+    /// `min_years`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed` is zero, `capacity_fraction` is outside
+    /// `(0, 1)`, or `endurance_sigma` is negative.
+    pub fn years_to_capacity(
+        &self,
+        ledger: &WearLedger,
+        elapsed: Duration,
+        endurance_sigma: f64,
+        capacity_fraction: f64,
+    ) -> f64 {
+        assert!(elapsed > Duration::ZERO, "elapsed time must be non-zero");
+        assert!(
+            capacity_fraction > 0.0 && capacity_fraction < 1.0,
+            "capacity fraction must be in (0, 1), got {capacity_fraction}"
+        );
+        assert!(
+            endurance_sigma >= 0.0,
+            "endurance sigma must be non-negative, got {endurance_sigma}"
+        );
+        let elapsed_secs = elapsed.as_secs_f64();
+        let quantile_limit = self.endurance_per_block
+            * (endurance_sigma * inverse_normal_cdf(1.0 - capacity_fraction)).exp();
+        let leveled_blocks = self.leveling_efficiency * self.blocks_per_bank as f64;
+        ledger
+            .iter()
+            .map(|b| {
+                if b.total_wear <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    let per_block_rate = b.total_wear / elapsed_secs / leveled_blocks;
+                    quantile_limit / per_block_rate / SECONDS_PER_YEAR
+                }
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The standard normal inverse CDF Φ⁻¹ (Acklam's rational
+/// approximation, relative error < 1.2e-9 over (0, 1)).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile probability must be in (0, 1), got {p}"
+    );
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p > 1.0 - P_LOW {
+        -inverse_normal_cdf(1.0 - p)
+    } else {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -250,5 +359,76 @@ mod tests {
     fn zero_elapsed_rejected() {
         let model = LifetimeModel::new(5e6, 16, 0.9);
         let _ = model.project(&ledger(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_matches_known_quantiles() {
+        for (p, z) in [
+            (0.5, 0.0),
+            (0.05, -1.6448536269514722),
+            (0.95, 1.6448536269514722),
+            (0.975, 1.959963984540054),
+            (0.01, -2.3263478740408408),
+            (0.001, -3.090232306167813),
+        ] {
+            let got = inverse_normal_cdf(p);
+            assert!((got - z).abs() < 1e-6, "phi_inv({p}) = {got}, want {z}");
+        }
+    }
+
+    #[test]
+    fn zero_sigma_capacity_projection_equals_first_failure() {
+        let model = LifetimeModel::new(5e6, 1024, 0.9);
+        let mut l = ledger(2);
+        for _ in 0..7 {
+            l.record_write(0, None, 1.0);
+        }
+        l.record_write(1, None, 3.0);
+        let e = Duration::from_us(5);
+        let first = model.project(&l, e).min_years;
+        for fraction in [0.99, 0.95, 0.5] {
+            let years = model.years_to_capacity(&l, e, 0.0, fraction);
+            assert!(
+                (years - first).abs() / first < 1e-12,
+                "sigma 0, fraction {fraction}: {years} vs {first}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_projection_monotone_in_threshold_and_sigma() {
+        let model = LifetimeModel::new(5e6, 1024, 0.9);
+        let mut l = ledger(1);
+        l.record_write(0, None, 1.0);
+        let e = Duration::from_us(1);
+        let y99 = model.years_to_capacity(&l, e, 0.3, 0.99);
+        let y95 = model.years_to_capacity(&l, e, 0.3, 0.95);
+        let y50 = model.years_to_capacity(&l, e, 0.3, 0.50);
+        // Losing more capacity takes longer; the weakest 1% fail first.
+        assert!(y99 < y95 && y95 < y50, "{y99} {y95} {y50}");
+        // Wider variation pulls the early-failure tail earlier.
+        let tight = model.years_to_capacity(&l, e, 0.1, 0.95);
+        let wide = model.years_to_capacity(&l, e, 0.5, 0.95);
+        assert!(wide < tight, "{wide} vs {tight}");
+        // At the median threshold sigma cancels out of nothing: the 50%
+        // point of a lognormal is the median, exp(0) x base.
+        let m_tight = model.years_to_capacity(&l, e, 0.1, 0.5);
+        let m_wide = model.years_to_capacity(&l, e, 0.5, 0.5);
+        assert!((m_tight - m_wide).abs() / m_tight < 1e-9);
+    }
+
+    #[test]
+    fn unworn_memory_never_loses_capacity() {
+        let model = LifetimeModel::new(5e6, 1024, 0.9);
+        assert!(model
+            .years_to_capacity(&ledger(3), Duration::from_us(1), 0.2, 0.95)
+            .is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1)")]
+    fn capacity_fraction_one_rejected() {
+        let model = LifetimeModel::new(5e6, 16, 0.9);
+        let _ = model.years_to_capacity(&ledger(1), Duration::from_us(1), 0.1, 1.0);
     }
 }

@@ -4,7 +4,7 @@ use crate::SystemConfig;
 use mellow_cache::{Cache, CacheStats};
 use mellow_cpu::Core;
 use mellow_engine::{CoreCycles, Duration, SimTime};
-use mellow_memctrl::{Controller, CtrlStats};
+use mellow_memctrl::{Controller, CtrlStats, FaultStats};
 use mellow_nvm::energy::{EnergyAccount, EnergyModel};
 
 /// Everything measured in one `(workload, policy)` run — the atom from
@@ -34,6 +34,17 @@ pub struct Metrics {
     pub lifetime_years: f64,
     /// Per-bank projected lifetimes in years.
     pub per_bank_lifetime_years: Vec<f64>,
+    /// Projected years until usable capacity drops below 99% (equals
+    /// the first-failure lifetime when endurance variation is off).
+    pub capacity_99_years: f64,
+    /// Projected years until usable capacity drops below 95%.
+    pub capacity_95_years: f64,
+    /// Usable-capacity fraction at the end of the run: 1.0 unless the
+    /// fault layer exhausted a spare pool and declared blocks lost.
+    pub usable_capacity_fraction: f64,
+    /// Fault-layer counters (write-verify failures, retries, remaps,
+    /// spares remaining, uncorrectable losses).
+    pub faults: FaultStats,
     /// Mean bank utilization (Figs. 3 and 12).
     pub avg_bank_utilization: f64,
     /// Fraction of the measured window spent in write drains (Fig. 13).
@@ -67,11 +78,12 @@ impl Metrics {
         elapsed: Duration,
     ) -> Metrics {
         let instructions = core.retired_instructions();
-        let lifetime = ctrl.lifetime(if elapsed > Duration::ZERO {
+        let horizon = if elapsed > Duration::ZERO {
             elapsed
         } else {
             Duration::from_ns(1)
-        });
+        };
+        let lifetime = ctrl.lifetime(horizon);
         let ledger = ctrl.ledger();
         let completed: u64 = ledger.iter().map(|b| b.completed_writes()).sum();
         let slow: u64 = ledger.iter().map(|b| b.slow_writes).sum();
@@ -91,6 +103,10 @@ impl Metrics {
             },
             lifetime_years: lifetime.min_years,
             per_bank_lifetime_years: lifetime.per_bank_years,
+            capacity_99_years: ctrl.capacity_years(horizon, 0.99),
+            capacity_95_years: ctrl.capacity_years(horizon, 0.95),
+            usable_capacity_fraction: ctrl.usable_capacity_fraction(),
+            faults: ctrl.fault_stats(),
             avg_bank_utilization: ctrl.avg_bank_utilization(elapsed.max(Duration::from_ns(1))),
             drain_fraction: ctrl
                 .drain_time(now)
@@ -173,6 +189,10 @@ impl mellow_engine::json::JsonField for Metrics {
             mpki,
             lifetime_years,
             per_bank_lifetime_years,
+            capacity_99_years,
+            capacity_95_years,
+            usable_capacity_fraction,
+            faults,
             avg_bank_utilization,
             drain_fraction,
             total_wear,
@@ -199,6 +219,10 @@ impl mellow_engine::json::JsonField for Metrics {
                 mpki,
                 lifetime_years,
                 per_bank_lifetime_years,
+                capacity_99_years,
+                capacity_95_years,
+                usable_capacity_fraction,
+                faults,
                 avg_bank_utilization,
                 drain_fraction,
                 total_wear,
@@ -230,6 +254,10 @@ mod tests {
             mpki: 12.3,
             lifetime_years: 4.5,
             per_bank_lifetime_years: vec![4.5],
+            capacity_99_years: 4.5,
+            capacity_95_years: 4.5,
+            usable_capacity_fraction: 1.0,
+            faults: FaultStats::default(),
             avg_bank_utilization: 0.25,
             drain_fraction: 0.01,
             total_wear: 10.0,
@@ -269,6 +297,16 @@ mod tests {
             mpki: 8.91,
             lifetime_years: f64::INFINITY,
             per_bank_lifetime_years: vec![4.25, f64::INFINITY],
+            capacity_99_years: 4.25,
+            capacity_95_years: f64::INFINITY,
+            usable_capacity_fraction: 0.75,
+            faults: FaultStats {
+                verify_failures: 7,
+                retries: 4,
+                remaps: 2,
+                spares_remaining: 126,
+                uncorrectable: 1,
+            },
             avg_bank_utilization: 1.0 / 3.0,
             drain_fraction: 0.01,
             total_wear: 1234.5,
@@ -301,6 +339,9 @@ mod tests {
         assert_eq!(back.lifetime_years, f64::INFINITY);
         assert_eq!(back.per_bank_lifetime_years, m.per_bank_lifetime_years);
         assert_eq!(back.bank_wear, m.bank_wear);
+        assert_eq!(back.capacity_95_years, f64::INFINITY);
+        assert_eq!(back.usable_capacity_fraction.to_bits(), (0.75f64).to_bits());
+        assert_eq!(back.faults, m.faults);
         assert_eq!(back.ctrl, m.ctrl);
         assert_eq!(back.llc, m.llc);
         assert_eq!(back.energy_ops, m.energy_ops);
@@ -320,6 +361,10 @@ mod tests {
             mpki: 0.0,
             lifetime_years: 0.0,
             per_bank_lifetime_years: vec![],
+            capacity_99_years: 0.0,
+            capacity_95_years: 0.0,
+            usable_capacity_fraction: 1.0,
+            faults: FaultStats::default(),
             avg_bank_utilization: 0.0,
             drain_fraction: 0.0,
             total_wear: 0.0,
@@ -350,6 +395,10 @@ mod tests {
             mpki: 0.0,
             lifetime_years: 0.0,
             per_bank_lifetime_years: vec![],
+            capacity_99_years: 0.0,
+            capacity_95_years: 0.0,
+            usable_capacity_fraction: 1.0,
+            faults: FaultStats::default(),
             avg_bank_utilization: 0.0,
             drain_fraction: 0.0,
             total_wear: 0.0,

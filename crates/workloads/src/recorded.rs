@@ -125,10 +125,21 @@ impl RecordedTrace {
     /// Returns [`io::ErrorKind::InvalidData`] on malformed lines, or an
     /// empty trace; propagates I/O errors from `reader`.
     pub fn load<R: BufRead>(reader: R) -> io::Result<Self> {
-        let bad = |line_no: usize, msg: &str| {
+        // Diagnostics quote the offending line (truncated, so a binary
+        // file fed in by mistake cannot balloon the error message).
+        let bad = |line_no: usize, content: &str, msg: &str| {
+            const MAX_QUOTED: usize = 40;
+            let mut quoted = String::new();
+            for ch in content.chars() {
+                if quoted.len() >= MAX_QUOTED {
+                    quoted.push('…');
+                    break;
+                }
+                quoted.push(ch);
+            }
             io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("trace line {line_no}: {msg}"),
+                format!("trace line {line_no}: {msg} (line: {quoted:?})"),
             )
         };
         let mut records = Vec::new();
@@ -139,23 +150,22 @@ impl RecordedTrace {
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
+            let bad = |msg: &str| bad(line_no, trimmed, msg);
             let (nonmem_s, op_s) = trimmed
                 .split_once(' ')
-                .ok_or_else(|| bad(line_no, "expected `<nonmem> <op>`"))?;
-            let nonmem: u32 = nonmem_s
-                .parse()
-                .map_err(|_| bad(line_no, "bad instruction count"))?;
+                .ok_or_else(|| bad("expected `<nonmem> <op>`"))?;
+            let nonmem: u32 = nonmem_s.parse().map_err(|_| bad("bad instruction count"))?;
             let op = match op_s {
                 "-" => None,
                 _ => {
                     let (kind, addr_s) = op_s.split_at(1);
-                    let addr = u64::from_str_radix(addr_s, 16)
-                        .map_err(|_| bad(line_no, "bad hex address"))?;
+                    let addr =
+                        u64::from_str_radix(addr_s, 16).map_err(|_| bad("bad hex address"))?;
                     Some(match kind {
                         "l" => MemOp::load(addr),
                         "s" => MemOp::store(addr),
                         "d" => MemOp::load(addr).dependent(),
-                        _ => return Err(bad(line_no, "op kind must be l, s or d")),
+                        _ => return Err(bad("op kind must be l, s or d")),
                     })
                 }
             };
@@ -253,11 +263,37 @@ mod tests {
 
     #[test]
     fn malformed_lines_rejected() {
-        for bad in ["nonsense", "x l10", "5 q10", "5 lZZZ", "5"] {
+        for (bad, why) in [
+            ("nonsense", "expected `<nonmem> <op>`"),
+            ("x l10", "bad instruction count"),
+            ("5 q10", "op kind must be l, s or d"),
+            ("5 lZZZ", "bad hex address"),
+            ("5", "expected `<nonmem> <op>`"),
+        ] {
             let text = format!("{bad}\n");
             let err = RecordedTrace::load(text.as_bytes()).unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "input {bad:?}");
+            let msg = err.to_string();
+            assert!(msg.contains(why), "input {bad:?}: message {msg:?}");
+            assert!(
+                msg.contains(&format!("{bad:?}")),
+                "input {bad:?}: message {msg:?} does not quote the line"
+            );
         }
+    }
+
+    #[test]
+    fn diagnostics_name_the_line_and_truncate_it() {
+        // The offending line is on line 3 (after a comment and a good
+        // record) and longer than the 40-byte quote budget.
+        let long = format!("5 l{}", "Z".repeat(80));
+        let text = format!("# header\n1 l10\n{long}\n");
+        let msg = RecordedTrace::load(text.as_bytes())
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("trace line 3:"), "message {msg:?}");
+        assert!(msg.contains('…'), "message {msg:?} not truncated");
+        assert!(!msg.contains(&"Z".repeat(60)), "message {msg:?} too long");
     }
 
     #[test]

@@ -140,6 +140,70 @@ proptest! {
         }
     }
 
+    /// Wear-ledger invariants under arbitrary interleavings of
+    /// completed writes, cancelled attempts, slow writes, and leveling
+    /// writes: per-bank wear is monotone non-decreasing, the per-block
+    /// table always sums back to the bank totals, and prorated cancel
+    /// charges never exceed what the pessimistic full-pulse policy
+    /// would charge (nor undercut the optimistic free policy).
+    #[test]
+    fn ledger_sequences_keep_wear_invariants(
+        ops in proptest::collection::vec(
+            (0u8..4, 0usize..4, 0u64..8, 1.0f64..4.0, 0.0f64..1.0),
+            0..200,
+        ),
+    ) {
+        const BLOCKS: u64 = 8;
+        let model = EnduranceModel::reram_default();
+        let mk = |cw: CancelWear| {
+            WearLedger::new(4, model, cw).with_block_tracking(BLOCKS)
+        };
+        let mut prorated = mk(CancelWear::Prorated);
+        let mut full = mk(CancelWear::Full);
+        let mut free = mk(CancelWear::None);
+        let mut prev = [0.0f64; 4];
+        for (op, bank, block, factor, fraction) in ops {
+            for l in [&mut prorated, &mut full, &mut free] {
+                match op {
+                    0 => l.record_write(bank, Some(block), 1.0),
+                    1 => l.record_write(bank, Some(block), factor),
+                    2 => l.record_cancelled(bank, Some(block), factor, fraction),
+                    _ => l.record_leveling_write(bank, Some(block)),
+                }
+            }
+
+            // Monotonicity: no operation may ever reduce a bank's wear.
+            for (b, p) in prev.iter_mut().enumerate() {
+                let now = prorated.bank(b).total_wear;
+                prop_assert!(now + 1e-12 >= *p, "bank {b} wear decreased");
+                *p = now;
+            }
+
+            // The block table is a refinement of the bank totals.
+            let table = prorated.block_table().unwrap();
+            for b in 0..4 {
+                let sum: f64 = (0..BLOCKS).map(|blk| table.get(b, blk)).sum();
+                prop_assert!(
+                    (sum - prorated.bank(b).total_wear).abs() < 1e-9,
+                    "bank {b}: block sum {sum} != total {}",
+                    prorated.bank(b).total_wear
+                );
+            }
+
+            // Prorated cancels are bracketed by the Full and None policies.
+            for b in 0..4 {
+                prop_assert!(
+                    prorated.bank(b).total_wear <= full.bank(b).total_wear + 1e-12,
+                    "bank {b}: prorated charged more than a full pulse"
+                );
+                prop_assert!(
+                    free.bank(b).total_wear <= prorated.bank(b).total_wear + 1e-12,
+                    "bank {b}: prorated charged less than a free cancel"
+                );
+            }
+        }
+    }
+
     /// A bank that never exceeds its cumulative allowance is never
     /// restricted; one that does is restricted until it falls back
     /// under.
