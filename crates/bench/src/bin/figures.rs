@@ -5,7 +5,7 @@
 //!
 //! targets: fig1 fig2 fig3 tab5 tab6 fig10 fig11 fig12 fig13 fig14
 //!          fig15 fig16 fig17 fig18 fig19 calibrate ablate graded
-//!          faults perf main all
+//!          faults leveling perf main all
 //! ```
 //!
 //! `main` runs the shared Figs. 10–17 matrix once and prints all of
@@ -36,7 +36,7 @@ usage: figures <target> [--full|--tiny] [--threads N] [--store PATH] [--no-cache
 
 targets: fig1 fig2 fig3 tab5 tab6 fig10 fig11 fig12 fig13 fig14
          fig15 fig16 fig17 fig18 fig19 calibrate ablate graded
-         faults perf main all (default)
+         faults leveling perf main all (default)
 
   --full        publication scale (slower)
   --tiny        CI smoke scale (fast, not meaningful for artifacts)
@@ -163,6 +163,7 @@ fn main() {
         "ablate" => out.push_str(&figures::ablate(scale, &settings)),
         "graded" => out.push_str(&figures::graded(scale, &settings)),
         "faults" => out.push_str(&figures::faults(scale, &settings)),
+        "leveling" => out.push_str(&figures::leveling(scale, &settings)),
         "perf" => out.push_str(&perf_report(scale)),
         "main" => print_main(&mut out),
         "all" => {

@@ -682,7 +682,7 @@ pub fn ablate(scale: Scale, settings: &SweepSettings) -> String {
         ),
         (
             "Start-Gap psi 10",
-            base().with_edit(|c| c.mem.startgap_interval = 10),
+            base().with_edit(|c| c.mem.set_startgap_interval(10)),
         ),
         (
             "+WP write pausing (extension)",
@@ -748,7 +748,7 @@ pub fn faults(scale: Scale, settings: &SweepSettings) -> String {
                     c.mem.fault.endurance_sigma = 0.25;
                     c.mem.fault.transient_rate = rate;
                     c.mem.max_write_retries = budget;
-                    c.mem.spares_per_bank = 4;
+                    c.mem.set_spares_per_bank(4);
                 }),
             );
         }
@@ -814,6 +814,152 @@ pub fn faults(scale: Scale, settings: &SweepSettings) -> String {
     match std::fs::write(&path, Json::Arr(rows).to_string()) {
         Ok(()) => {
             let _ = writeln!(s, "degradation curve written to {}", path.display());
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    s
+}
+
+/// The wear-leveling comparison (not a paper artifact): the three
+/// `WearLeveler` implementations — Start-Gap, the WoLFRaM-style
+/// programmable remap table, and the SoftWear-style page leveler —
+/// under the fault-sweep operating points (endurance variation on, a
+/// clean point plus transient-failure and stuck-at points from the
+/// chaos grid), on the write-heavy `gups` workload. Reports lifetime,
+/// the capacity-threshold projections, leveling overhead writes and
+/// migrations, and the fault counters; the table is also written as
+/// `BENCH_leveling.json` at the repository root for the CI artifact.
+///
+/// Like the chaos grid (and the `sample_period` scaling everywhere
+/// else), the cells shrink the memory to 4 MiB and the rotation
+/// intervals by 10x so a short measured window spans many leveling
+/// rounds and actually lands on stuck-at blocks; the relative overhead
+/// of the three schemes (1 copy per Ψ for Start-Gap, 2 per interval
+/// for WoLFRaM, 2 pages per epoch for SoftWear) is preserved.
+pub fn leveling(scale: Scale, settings: &SweepSettings) -> String {
+    use crate::trajectory::repo_root;
+    use mellow_engine::json::Json;
+    use mellow_nvm::LevelerConfig;
+
+    const WORKLOAD: &str = "gups";
+    const LEVELERS: [(&str, LevelerConfig); 3] = [
+        (
+            "start-gap",
+            LevelerConfig::StartGap {
+                gap_interval: 10,
+                spares_per_bank: 4,
+            },
+        ),
+        (
+            "wolfram",
+            LevelerConfig::Wolfram {
+                remap_interval: 10,
+                spares_per_bank: 4,
+            },
+        ),
+        (
+            // 8-block pages at a 160-write epoch: the same 10%
+            // relative overhead as the scaled Start-Gap/WoLFRaM knobs
+            // (2 x 8 copies per 160 writes), reachable within a short
+            // measured window.
+            "softwear",
+            LevelerConfig::SoftWear {
+                epoch_writes: 160,
+                page_blocks: 8,
+                spares_per_bank: 4,
+            },
+        ),
+    ];
+    // Fault operating points from the PR5 chaos grid: a clean run, a
+    // transient-failure point, and a stuck-at point, all with endurance
+    // variation on and a 1-retry budget so remaps actually happen.
+    const POINTS: [(&str, f64, u64); 3] = [
+        ("clean", 0.0, 0),
+        ("transient 0.02", 0.02, 0),
+        ("stuck-at 16", 0.0, 16),
+    ];
+    let mut cells = Vec::new();
+    for &(_, leveler) in &LEVELERS {
+        for &(_, rate, stuck) in &POINTS {
+            cells.push(
+                Cell::new(WORKLOAD, WritePolicy::be_mellow_sc()).with_edit(move |c| {
+                    c.mem.capacity_bytes = 4 << 20;
+                    c.mem.leveler = leveler;
+                    c.mem.fault.enabled = true;
+                    c.mem.fault.endurance_sigma = 0.25;
+                    c.mem.fault.transient_rate = rate;
+                    c.mem.fault.stuck_at_per_bank = stuck;
+                    c.mem.max_write_retries = 1;
+                }),
+            );
+        }
+    }
+    let results = settings
+        .apply(Sweep::new(scale).cells(cells))
+        .run()
+        .expect("gups is a Table IV name");
+
+    let mut s = String::from(
+        "\n=== Leveling sweep: WearLeveler implementations x fault points (gups, BE-Mellow+SC, sigma 0.25) ===\n",
+    );
+    let _ = writeln!(
+        s,
+        "{:<26} {:>9} {:>10} {:>8} {:>7} {:>7} {:>6} {:>8} {:>10}",
+        "variant",
+        "life(yr)",
+        "cap99(yr)",
+        "ovhd-wr",
+        "migr",
+        "vfails",
+        "lost",
+        "usable%",
+        "slow-frac"
+    );
+    let mut rows: Vec<Json> = Vec::new();
+    for (i, r) in results.iter().enumerate() {
+        let (lname, _) = LEVELERS[i / POINTS.len()];
+        let (pname, rate, stuck) = POINTS[i % POINTS.len()];
+        let m = &r.metrics;
+        let f = &m.faults;
+        let lv = &m.leveling;
+        let _ = writeln!(
+            s,
+            "{lname:<9} {pname:<16} {:>9.2} {:>10.2} {:>8} {:>7} {:>7} {:>6} {:>7.2}% {:>9.1}%",
+            m.lifetime_years,
+            m.capacity_99_years,
+            lv.overhead_writes,
+            lv.migrations,
+            f.verify_failures,
+            f.uncorrectable,
+            m.usable_capacity_fraction * 100.0,
+            m.slow_write_fraction * 100.0,
+        );
+        rows.push(Json::obj([
+            ("workload", Json::from(WORKLOAD)),
+            ("leveler", Json::from(lname)),
+            ("fault_point", Json::from(pname)),
+            ("transient_rate", Json::from(rate)),
+            ("stuck_at_per_bank", Json::from(stuck)),
+            ("lifetime_years", Json::from(m.lifetime_years)),
+            ("capacity_99_years", Json::from(m.capacity_99_years)),
+            ("capacity_95_years", Json::from(m.capacity_95_years)),
+            ("overhead_writes", Json::from(lv.overhead_writes)),
+            ("migrations", Json::from(lv.migrations)),
+            ("fault_remaps", Json::from(lv.fault_remaps)),
+            ("verify_failures", Json::from(f.verify_failures)),
+            ("remaps", Json::from(f.remaps)),
+            ("spares_remaining", Json::from(f.spares_remaining)),
+            ("uncorrectable", Json::from(f.uncorrectable)),
+            (
+                "usable_capacity_fraction",
+                Json::from(m.usable_capacity_fraction),
+            ),
+        ]));
+    }
+    let path = repo_root().join("BENCH_leveling.json");
+    match std::fs::write(&path, Json::Arr(rows).to_string()) {
+        Ok(()) => {
+            let _ = writeln!(s, "leveling comparison written to {}", path.display());
         }
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

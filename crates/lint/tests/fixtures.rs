@@ -304,6 +304,32 @@ fn l4_covers_fault_stats_counters() {
     );
 }
 
+#[test]
+fn l4_covers_leveler_stats_counters() {
+    // The `WearLeveler` counters are exactly the shape L4 polices: a
+    // migration counter bumped on every rotation but dropped from the
+    // metrics row would silently hollow out the leveling sweep. A
+    // fixture with a reported `overhead_writes` but write-only
+    // `migrations` must fire on the latter only.
+    let src = "
+        pub struct LevelerStats { pub overhead_writes: u64, pub migrations: u64 }
+        impl Leveler {
+            fn rotate(&mut self) { self.stats.overhead_writes += 2; self.stats.migrations += 1; }
+            fn report(&self) -> u64 { self.stats.overhead_writes }
+        }
+    ";
+    let vs = lint_source(SIM, src);
+    assert!(
+        vs.iter()
+            .any(|v| v.rule == Rule::StatsExhaustiveness && v.message.contains("migrations")),
+        "write-only `migrations` must fire L4, got {vs:?}"
+    );
+    assert!(
+        !vs.iter().any(|v| v.message.contains("overhead_writes")),
+        "`overhead_writes` accumulates and reports, got {vs:?}"
+    );
+}
+
 // ------------------------------------------------------- diagnostics shape
 
 #[test]

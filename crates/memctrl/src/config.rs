@@ -1,7 +1,7 @@
 //! Memory-system configuration (Table II of the paper).
 
 use mellow_engine::{Clock, Duration};
-use mellow_nvm::FaultConfig;
+use mellow_nvm::{FaultConfig, LevelerConfig};
 
 /// Geometry and timing of the resistive main memory (Table II).
 #[derive(Debug, Clone, PartialEq)]
@@ -58,18 +58,17 @@ pub struct MemConfig {
     /// layout is the slower reference implementation kept for the
     /// equivalence tests.
     pub use_scan_queues: bool,
-    /// Start-Gap gap-movement interval Ψ (writes per move).
-    pub startgap_interval: u32,
+    /// Wear-leveling scheme and its knobs (gap/rotation interval,
+    /// spare-pool size). Replaces the old `startgap_interval` and
+    /// `spares_per_bank` scalars; the default is Start-Gap at the
+    /// paper's Ψ = 100 with 8 spares per bank, exactly as before.
+    pub leveler: LevelerConfig,
     /// Wear-leveling efficiency η used for lifetime projection.
     pub leveling_efficiency: f64,
     /// Write-verify retry budget: a write whose verify fails is retried
     /// up to this many times (each retry charges wear and bank busy
     /// time) before its block is remapped to a spare.
     pub max_write_retries: u32,
-    /// Spare blocks per bank backing the verify/retry/remap path; once
-    /// a bank's pool is exhausted, further remap requests declare the
-    /// block's data lost and shrink usable capacity.
-    pub spares_per_bank: u64,
     /// Fault-injection layer (endurance variation, stuck-at blocks,
     /// transient write failures). Disabled by default: no fault state
     /// is constructed and the controller is bit-identical to a
@@ -101,10 +100,9 @@ impl MemConfig {
             cancel_threshold: 0.75,
             max_cancels: 4,
             use_scan_queues: false,
-            startgap_interval: 100,
+            leveler: LevelerConfig::start_gap_default(),
             leveling_efficiency: 0.9,
             max_write_retries: 2,
-            spares_per_bank: 8,
             fault: FaultConfig::disabled(),
         }
     }
@@ -157,6 +155,25 @@ impl MemConfig {
         bank % self.num_ranks
     }
 
+    /// Spare blocks per bank backing the verify/retry/remap path,
+    /// whichever layer owns the pool (back-compat accessor for the old
+    /// `spares_per_bank` field).
+    pub fn spares_per_bank(&self) -> u64 {
+        self.leveler.spares_per_bank()
+    }
+
+    /// Resizes the per-bank spare pool, keeping the leveling scheme
+    /// (back-compat setter for the old `spares_per_bank` field).
+    pub fn set_spares_per_bank(&mut self, spares: u64) {
+        self.leveler.set_spares_per_bank(spares);
+    }
+
+    /// Selects Start-Gap with gap interval Ψ, keeping the spare-pool
+    /// size (back-compat setter for the old `startgap_interval` field).
+    pub fn set_startgap_interval(&mut self, psi: u32) {
+        self.leveler = LevelerConfig::start_gap(psi, self.leveler.spares_per_bank());
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -195,6 +212,13 @@ impl MemConfig {
             (0.0..=1.0).contains(&self.cancel_threshold),
             "cancel threshold must be in [0, 1]"
         );
+        self.leveler.validate();
+        if let LevelerConfig::SoftWear { page_blocks, .. } = self.leveler {
+            assert!(
+                self.blocks_per_bank().is_multiple_of(page_blocks),
+                "SoftWear page size must divide the bank block count"
+            );
+        }
         self.fault.validate();
     }
 }

@@ -11,8 +11,8 @@ use mellow_engine::stats::{BusyTracker, Histogram};
 use mellow_engine::{Duration, MemCycles, SimTime, TimerQueue};
 use mellow_nvm::energy::EnergyAccount;
 use mellow_nvm::{
-    CancelWear, EnduranceModel, FaultState, LifetimeModel, LifetimeProjection, StartGap,
-    WearLedger, WriteVerify,
+    CancelWear, EnduranceModel, FaultState, LevelerStats, LifetimeModel, LifetimeProjection,
+    RemapOutcome, WearLedger, WearLeveler, WriteVerify,
 };
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -297,7 +297,14 @@ pub struct Controller {
     forwarded_pending: VecDeque<(SimTime, u64)>,
     read_done: VecDeque<u64>,
     ledger: WearLedger,
-    startgaps: Vec<StartGap>,
+    /// The wear-leveling scheme: every logical→physical translation,
+    /// rotation event, and verify-failure remap routes through this
+    /// trait object (selected by `cfg.leveler`).
+    leveler: Box<dyn WearLeveler>,
+    /// Leveler counters at the last `reset_stats`, so reported leveling
+    /// stats cover the measurement window only (registers and tables
+    /// persist as device state, like Start-Gap's did).
+    leveler_base: LevelerStats,
     quota: Option<WearQuota>,
     next_period_at: SimTime,
     draining: bool,
@@ -340,14 +347,17 @@ impl Controller {
             WearQuota::new(qc, banks)
         });
         let sample_period = cfg.sample_period;
-        // One extra physical block per bank: Start-Gap's gap spare.
+        let leveler = cfg.leveler.build(banks, cfg.blocks_per_bank());
+        // The fault layer covers the leveler's whole physical space
+        // (e.g. Start-Gap's gap spare) and owns only the spares the
+        // leveler delegates (zero for pool-owning levelers).
         let faults = cfg.fault.enabled.then(|| {
             FaultState::new(
                 cfg.fault,
                 &endurance,
                 banks,
-                cfg.blocks_per_bank() + 1,
-                cfg.spares_per_bank,
+                leveler.physical_blocks_per_bank(),
+                leveler.fault_pool_spares(),
             )
         });
         Controller {
@@ -360,9 +370,8 @@ impl Controller {
             forwarded_pending: VecDeque::new(),
             read_done: VecDeque::new(),
             ledger: WearLedger::new(banks, endurance, cancel_wear),
-            startgaps: (0..banks)
-                .map(|_| StartGap::new(cfg.blocks_per_bank(), cfg.startgap_interval))
-                .collect(),
+            leveler,
+            leveler_base: LevelerStats::default(),
             quota,
             next_period_at: SimTime::ZERO + sample_period,
             draining: false,
@@ -384,8 +393,8 @@ impl Controller {
     /// Enables per-block wear tracking (small configurations only: the
     /// table holds one `f64` per memory block).
     pub fn enable_block_tracking(&mut self) {
-        // One extra physical line per bank: Start-Gap's gap spare.
-        let blocks = self.cfg.blocks_per_bank() + 1;
+        // The leveler's full physical space (e.g. Start-Gap's gap spare).
+        let blocks = self.leveler.physical_blocks_per_bank();
         // Rebuild the ledger with tracking; only valid before any wear.
         assert!(
             self.ledger.total_wear() == 0.0,
@@ -699,11 +708,13 @@ impl Controller {
             Entry::Vacant(_) => debug_assert!(false, "completed write missing from line index"),
         }
         let factor = op.factor;
-        let sg = &mut self.startgaps[bank_idx];
-        let phys = sg.remap(op.mapping.block);
+        let phys = self.leveler.remap(bank_idx, op.mapping.block);
         self.ledger.record_write(bank_idx, Some(phys), factor);
-        if let Some(moved) = sg.note_write() {
-            self.ledger.record_leveling_write(bank_idx, Some(moved));
+        let mut moved = Vec::new();
+        self.leveler
+            .note_write(bank_idx, op.mapping.block, &mut moved);
+        for m in moved {
+            self.ledger.record_leveling_write(bank_idx, Some(m));
         }
         // Graded factors between 1x and 3x are charged slow-write
         // energy (a conservative overestimate; Table VI only
@@ -728,7 +739,7 @@ impl Controller {
     /// block, or — with the spare pool exhausted — dropped as an
     /// uncorrectable loss.
     fn verify_write(&mut self, bank_idx: usize, op: &InFlight) -> bool {
-        let phys = self.startgaps[bank_idx].remap(op.mapping.block);
+        let phys = self.leveler.remap(bank_idx, op.mapping.block);
         let wear = self.endurance.wear_per_write(op.factor);
         let verdict = self
             .faults
@@ -755,17 +766,42 @@ impl Controller {
                 if op.retries < self.cfg.max_write_retries {
                     self.fault_stats.retries += 1;
                     self.requeue_failed(bank_idx, op, op.retries + 1);
-                } else if self
-                    .faults
-                    .as_mut()
-                    .expect("verify_write requires fault state")
-                    .remap(bank_idx, phys)
-                {
-                    // A fresh spare: the retry budget starts over.
-                    self.fault_stats.remaps += 1;
-                    self.requeue_failed(bank_idx, op, 0);
                 } else {
-                    self.drop_lost_write(op);
+                    // Retry budget spent: ask the leveler first — a
+                    // pool-owning leveler (WoLFRaM) rewires the logical
+                    // block itself; others delegate to the fault
+                    // layer's per-bank spare pool.
+                    match self.leveler.remap_faulty(bank_idx, op.mapping.block) {
+                        RemapOutcome::Remapped => {
+                            // A fresh spare: the retry budget starts over.
+                            self.fault_stats.remaps += 1;
+                            self.requeue_failed(bank_idx, op, 0);
+                        }
+                        RemapOutcome::Delegate => {
+                            if self
+                                .faults
+                                .as_mut()
+                                .expect("verify_write requires fault state")
+                                .remap(bank_idx, phys)
+                            {
+                                self.fault_stats.remaps += 1;
+                                self.requeue_failed(bank_idx, op, 0);
+                            } else {
+                                self.drop_lost_write(op);
+                            }
+                        }
+                        RemapOutcome::Exhausted => {
+                            // The leveler's pool is empty; the fault
+                            // layer holds zero spares for pool-owning
+                            // levelers, so this marks the block lost.
+                            let _ = self
+                                .faults
+                                .as_mut()
+                                .expect("verify_write requires fault state")
+                                .remap(bank_idx, phys);
+                            self.drop_lost_write(op);
+                        }
+                    }
                 }
             }
         }
@@ -868,7 +904,7 @@ impl Controller {
                 // Abort: the driven fraction is wasted — charge its wear
                 // and energy, and restart from scratch.
                 let factor = op.factor;
-                let phys = self.startgaps[bank_idx].remap(op.mapping.block);
+                let phys = self.leveler.remap(bank_idx, op.mapping.block);
                 let charged = op.remaining_at_start * segment_fraction;
                 self.ledger
                     .record_cancelled(bank_idx, Some(phys), factor, charged);
@@ -1154,11 +1190,33 @@ impl Controller {
     /// identically to an enabled one whose fault knobs are all zero.
     pub fn fault_stats(&self) -> FaultStats {
         let mut s = self.fault_stats.clone();
-        s.spares_remaining = match &self.faults {
-            Some(f) => f.total_spares_remaining(),
-            None => self.cfg.num_banks as u64 * self.cfg.spares_per_bank,
+        s.spares_remaining = match self.leveler.spare_pool() {
+            // A pool-owning leveler (WoLFRaM) tracks its own spares.
+            Some(remaining) => remaining,
+            None => match &self.faults {
+                Some(f) => f.total_spares_remaining(),
+                None => self.cfg.num_banks as u64 * self.leveler.fault_pool_spares(),
+            },
         };
         s
+    }
+
+    /// The active wear-leveling scheme's short name.
+    pub fn leveler_name(&self) -> &'static str {
+        self.leveler.name()
+    }
+
+    /// Leveling overhead/migration counters accumulated since the last
+    /// [`reset_stats`](Self::reset_stats) (i.e. over the measurement
+    /// window), summed across banks.
+    pub fn leveler_stats(&self) -> LevelerStats {
+        self.leveler.stats().since(&self.leveler_base)
+    }
+
+    /// The active leveler, for state inspection
+    /// ([`WearLeveler::state_json`]) and per-bank stats.
+    pub fn leveler(&self) -> &dyn WearLeveler {
+        &*self.leveler
     }
 
     /// Fraction of physical blocks still usable: 1.0 until spare
@@ -1210,7 +1268,7 @@ impl Controller {
     /// Zeroes every measurement (counters, wear ledger, energy account,
     /// bank busy time, drain tracker, quota history) at an end-of-warmup
     /// boundary, preserving microarchitectural state (queues, open rows,
-    /// in-flight operations, Start-Gap registers).
+    /// in-flight operations, wear-leveler registers and tables).
     ///
     /// `now` re-anchors the period clock and the drain tracker.
     pub fn reset_stats(&mut self, now: SimTime) {
@@ -1220,9 +1278,12 @@ impl Controller {
         // *state* (wear limits, stuck blocks, consumed spares) is device
         // state and persists, like the Start-Gap registers.
         self.fault_stats = FaultStats::default();
+        // Leveler registers/tables persist as device state; snapshot
+        // the counters so reported stats cover the new window.
+        self.leveler_base = self.leveler.stats();
         let mut ledger = WearLedger::new(self.cfg.num_banks, self.endurance, self.cancel_wear);
         if self.ledger.block_table().is_some() {
-            ledger = ledger.with_block_tracking(self.cfg.blocks_per_bank() + 1);
+            ledger = ledger.with_block_tracking(self.leveler.physical_blocks_per_bank());
         }
         self.ledger = ledger;
         for bank in &mut self.banks {
@@ -1299,7 +1360,7 @@ mod tests {
     fn failing_write_consumes_retries_then_spare_then_loses_data() {
         let mut cfg = small_cfg();
         cfg.max_write_retries = 1;
-        cfg.spares_per_bank = 1;
+        cfg.set_spares_per_bank(1);
         cfg.fault.enabled = true;
         cfg.fault.transient_rate = 1.0; // every verify fails
         let mut c = Controller::new(

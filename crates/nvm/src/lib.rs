@@ -13,8 +13,14 @@
 //! - [`WearLedger`] / [`BankWear`] — wear bookkeeping per bank, in units
 //!   of normal-write-equivalents, including prorated wear for cancelled
 //!   writes.
+//! - [`WearLeveler`] — the unified leveling API: logical→physical
+//!   remapping, wear-rotation feedback, and verify-failure remaps
+//!   behind one trait, with Start-Gap, a WoLFRaM-style programmable
+//!   remap table, and a SoftWear-style page leveler as
+//!   implementations (see [`leveler`]).
 //! - [`StartGap`] — the Start-Gap wear-leveling scheme (Qureshi et al.,
-//!   MICRO'09) used by the paper at bank granularity.
+//!   MICRO'09) used by the paper at bank granularity; controllers reach
+//!   it through [`StartGapLeveler`].
 //! - [`energy`] — the ReRAM cell/peripheral energy model reproducing
 //!   Tables V and VI.
 //! - [`LifetimeModel`] — projects multi-year memory lifetime from the
@@ -41,12 +47,17 @@
 mod endurance;
 pub mod energy;
 pub mod fault;
+pub mod leveler;
 mod lifetime;
 mod startgap;
 mod wear;
 
 pub use endurance::{EnduranceModel, ExpoFactor};
 pub use fault::{FaultConfig, FaultState, WriteVerify};
+pub use leveler::{
+    LevelerConfig, LevelerStats, RemapOutcome, SoftWearLeveler, StartGapLeveler, WearLeveler,
+    WolframLeveler,
+};
 pub use lifetime::{LifetimeModel, LifetimeProjection, SECONDS_PER_YEAR};
 pub use startgap::StartGap;
 pub use wear::{BankWear, BlockWearTable, CancelWear, WearLedger};

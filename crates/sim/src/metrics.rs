@@ -63,6 +63,12 @@ pub struct Metrics {
     pub llc: CacheStats,
     /// Raw energy-bearing operation counts.
     pub energy_ops: EnergyAccount,
+    /// Wear-leveling scheme the run used (`start-gap`, `wolfram`,
+    /// `softwear`).
+    pub leveler: String,
+    /// Leveling overhead/migration counters over the measured window,
+    /// summed across banks.
+    pub leveling: mellow_nvm::LevelerStats,
 }
 
 impl Metrics {
@@ -121,6 +127,8 @@ impl Metrics {
             ctrl: ctrl.stats().clone(),
             llc: *llc.stats(),
             energy_ops: *ctrl.energy(),
+            leveler: ctrl.leveler_name().to_owned(),
+            leveling: ctrl.leveler_stats(),
         }
     }
 
@@ -201,6 +209,8 @@ impl mellow_engine::json::JsonField for Metrics {
             ctrl,
             llc,
             energy_ops,
+            leveler,
+            leveling,
         )
     }
 
@@ -231,6 +241,8 @@ impl mellow_engine::json::JsonField for Metrics {
                 ctrl,
                 llc,
                 energy_ops,
+                leveler,
+                leveling,
             }
         )
     }
@@ -266,6 +278,8 @@ mod tests {
             ctrl: CtrlStats::default(),
             llc: CacheStats::default(),
             energy_ops: EnergyAccount::default(),
+            leveler: "start-gap".into(),
+            leveling: mellow_nvm::LevelerStats::default(),
         };
         let s = m.summary();
         assert!(s.contains("stream"));
@@ -326,6 +340,12 @@ mod tests {
             ctrl,
             llc,
             energy_ops: EnergyAccount::default(),
+            leveler: "wolfram".into(),
+            leveling: mellow_nvm::LevelerStats {
+                overhead_writes: 40,
+                migrations: 20,
+                fault_remaps: 2,
+            },
         };
         let text = m.to_json().to_string();
         let back = Metrics::from_json(&mellow_engine::json::Json::parse(&text).unwrap()).unwrap();
@@ -345,6 +365,8 @@ mod tests {
         assert_eq!(back.ctrl, m.ctrl);
         assert_eq!(back.llc, m.llc);
         assert_eq!(back.energy_ops, m.energy_ops);
+        assert_eq!(back.leveler, "wolfram");
+        assert_eq!(back.leveling, m.leveling);
     }
 
     #[test]
@@ -373,6 +395,8 @@ mod tests {
             ctrl: CtrlStats::default(),
             llc: CacheStats::default(),
             energy_ops: EnergyAccount::default(),
+            leveler: "start-gap".into(),
+            leveling: mellow_nvm::LevelerStats::default(),
         };
         let text = m.to_json().to_string().replace("\"ipc\"", "\"ipq\"");
         let v = mellow_engine::json::Json::parse(&text).unwrap();
@@ -407,6 +431,8 @@ mod tests {
             ctrl: CtrlStats::default(),
             llc: CacheStats::default(),
             energy_ops: ops,
+            leveler: "start-gap".into(),
+            leveling: mellow_nvm::LevelerStats::default(),
         };
         let model = EnergyModel::fig16_default();
         assert!((m.memory_energy_pj(&model) - 402.4).abs() < 0.05);

@@ -344,7 +344,7 @@ fn per_block_ground_truth_consistent_with_aggregate_model() {
             c.l2.size_bytes = 4 << 10;
             c.llc.size_bytes = 8 << 10;
             c.mem.capacity_bytes = 512 << 10;
-            c.mem.startgap_interval = 4;
+            c.mem.set_startgap_interval(4);
             c.track_block_wear = true;
         });
     let mut system = experiment.build();
