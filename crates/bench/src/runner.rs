@@ -156,7 +156,7 @@ pub fn compare_issue_paths(
         .collect()
 }
 
-/// Wall-clock comparison of the system's two tick loops on one
+/// Wall-clock comparison of the system's three tick loops on one
 /// workload, produced by [`compare_system_loops`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoopComparison {
@@ -164,32 +164,41 @@ pub struct LoopComparison {
     pub workload: String,
     /// Wall-clock seconds for the legacy one-cycle-at-a-time loop.
     pub cycle_secs: f64,
-    /// Wall-clock seconds for the event-driven fast-forward loop.
+    /// Wall-clock seconds for the polling fast-forward loop
+    /// (`SystemConfig::use_fast_forward`).
     pub fast_secs: f64,
+    /// Wall-clock seconds for the event-queue kernel (the default
+    /// loop).
+    pub event_secs: f64,
     /// Simulated instructions per run (warm-up plus measured window).
     pub instructions: u64,
-    /// Whether the two loops produced bit-identical [`Metrics`] rows.
+    /// Whether all three loops produced bit-identical [`Metrics`] rows.
     pub metrics_match: bool,
 }
 
 impl LoopComparison {
-    /// Fast-forward-loop speedup over the cycle loop (> 1 means the
-    /// fast loop is faster).
+    /// Event-kernel speedup over the cycle loop (> 1 means the event
+    /// kernel is faster).
     pub fn speedup(&self) -> f64 {
-        self.cycle_secs / self.fast_secs
+        self.cycle_secs / self.event_secs
     }
 
-    /// Simulated instructions per wall-clock second under the
-    /// fast-forward loop.
-    pub fn fast_ips(&self) -> f64 {
-        self.instructions as f64 / self.fast_secs
+    /// Event-kernel speedup over the polling fast-forward loop.
+    pub fn fast_speedup(&self) -> f64 {
+        self.fast_secs / self.event_secs
+    }
+
+    /// Simulated instructions per wall-clock second under the event
+    /// kernel.
+    pub fn event_ips(&self) -> f64 {
+        self.instructions as f64 / self.event_secs
     }
 }
 
-/// Times each `(workload, policy)` experiment end to end under both
-/// system tick loops (`SystemConfig::use_cycle_loop` against the
-/// event-driven fast-forward default) and checks the [`Metrics`] rows
-/// agree bit for bit.
+/// Times each `(workload, policy)` experiment end to end under all
+/// three system tick loops (`SystemConfig::use_cycle_loop`,
+/// `SystemConfig::use_fast_forward`, and the event-queue kernel
+/// default) and checks the [`Metrics`] rows agree bit for bit.
 ///
 /// The loops are behaviorally identical by construction (see the
 /// equivalence tests in `tests/end_to_end.rs` and the system unit
@@ -204,9 +213,11 @@ pub fn compare_system_loops(
     workloads
         .iter()
         .map(|&w| {
-            let timed = |cycle_loop: bool| {
-                let e = try_experiment_for(w, policy, scale)?
-                    .configure(|c| c.use_cycle_loop = cycle_loop);
+            let timed = |cycle_loop: bool, fast_forward: bool| {
+                let e = try_experiment_for(w, policy, scale)?.configure(|c| {
+                    c.use_cycle_loop = cycle_loop;
+                    c.use_fast_forward = fast_forward;
+                });
                 let start = std::time::Instant::now();
                 let metrics = e.run();
                 Ok::<_, UnknownWorkload>((
@@ -215,15 +226,18 @@ pub fn compare_system_loops(
                     metrics,
                 ))
             };
-            let (cycle_secs, instructions, cycle_metrics) = timed(true)?;
-            let (fast_secs, _, fast_metrics) = timed(false)?;
+            let (cycle_secs, instructions, cycle_metrics) = timed(true, false)?;
+            let (fast_secs, _, fast_metrics) = timed(false, true)?;
+            let (event_secs, _, event_metrics) = timed(false, false)?;
+            let cycle_json = cycle_metrics.to_json().to_string();
             Ok(LoopComparison {
                 workload: w.to_owned(),
                 cycle_secs,
                 fast_secs,
+                event_secs,
                 instructions,
-                metrics_match: cycle_metrics.to_json().to_string()
-                    == fast_metrics.to_json().to_string(),
+                metrics_match: cycle_json == fast_metrics.to_json().to_string()
+                    && cycle_json == event_metrics.to_json().to_string(),
             })
         })
         .collect()
@@ -231,7 +245,8 @@ pub fn compare_system_loops(
 
 /// Times the microbench configuration from `benches/microbench.rs`
 /// (scaled-down caches, 16 MiB working set, 20k instructions, no
-/// warm-up) under both tick loops, averaging `reps` runs per loop.
+/// warm-up) under all three tick loops, averaging `reps` runs per
+/// loop.
 ///
 /// This isolates raw loop overhead from warm-up and large-cache
 /// effects: with a 64 KiB LLC a random-access workload head-blocks the
@@ -248,7 +263,7 @@ pub fn microbench_system_loops(
         .map(|&w| {
             let mut spec = WorkloadSpec::try_by_name(w)?;
             spec.working_set_bytes = 16 << 20;
-            let timed = |cycle_loop: bool| {
+            let timed = |cycle_loop: bool, fast_forward: bool| {
                 let mut secs = 0.0;
                 let mut metrics_json = String::new();
                 for _ in 0..reps.max(1) {
@@ -259,6 +274,7 @@ pub fn microbench_system_loops(
                                 c.l2.size_bytes = 16 << 10;
                                 c.llc.size_bytes = 64 << 10;
                                 c.use_cycle_loop = cycle_loop;
+                                c.use_fast_forward = fast_forward;
                             })
                             .build();
                     let start = std::time::Instant::now();
@@ -268,14 +284,16 @@ pub fn microbench_system_loops(
                 }
                 (secs / reps.max(1) as f64, metrics_json)
             };
-            let (cycle_secs, cycle_metrics) = timed(true);
-            let (fast_secs, fast_metrics) = timed(false);
+            let (cycle_secs, cycle_metrics) = timed(true, false);
+            let (fast_secs, fast_metrics) = timed(false, true);
+            let (event_secs, event_metrics) = timed(false, false);
             Ok(LoopComparison {
                 workload: w.to_owned(),
                 cycle_secs,
                 fast_secs,
+                event_secs,
                 instructions: INSTRUCTIONS,
-                metrics_match: cycle_metrics == fast_metrics,
+                metrics_match: cycle_metrics == fast_metrics && cycle_metrics == event_metrics,
             })
         })
         .collect()

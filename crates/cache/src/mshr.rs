@@ -1,7 +1,6 @@
 //! Miss-status holding registers.
 
 use crate::AccessId;
-use std::collections::HashMap;
 
 /// One outstanding line fill.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -22,6 +21,11 @@ pub struct MshrEntry {
 /// entry (no duplicate fetch); new lines allocate an entry if capacity
 /// allows.
 ///
+/// The hot key set (line addresses, probed on every lookup) is kept in a
+/// dense array separate from the entry payloads: with 8–32 registers a
+/// linear scan over one contiguous `u64` lane beats hashing, and the
+/// layout removes a `HashMap` from the per-access path entirely.
+///
 /// # Examples
 ///
 /// ```
@@ -37,7 +41,10 @@ pub struct MshrEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MshrFile {
-    entries: HashMap<u64, MshrEntry>,
+    /// Line address of each occupied register (scan lane).
+    lines: Vec<u64>,
+    /// Payload of each occupied register, parallel to `lines`.
+    entries: Vec<MshrEntry>,
     capacity: usize,
 }
 
@@ -50,48 +57,60 @@ impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be non-zero");
         MshrFile {
-            entries: HashMap::with_capacity(capacity),
+            lines: Vec::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
             capacity,
         }
     }
 
+    #[inline]
+    fn position(&self, line: u64) -> Option<usize> {
+        self.lines.iter().position(|&l| l == line)
+    }
+
     /// Returns `true` when a fill for `line` is outstanding.
+    #[inline]
     pub fn contains(&self, line: u64) -> bool {
-        self.entries.contains_key(&line)
+        self.lines.contains(&line)
     }
 
     /// Allocates an entry for `line`, returning `None` when the file is
     /// full or the line already has an entry (merge instead).
     pub fn allocate(&mut self, line: u64) -> Option<&mut MshrEntry> {
-        if self.entries.len() >= self.capacity || self.entries.contains_key(&line) {
+        if self.lines.len() >= self.capacity || self.contains(line) {
             return None;
         }
-        Some(self.entries.entry(line).or_default())
+        self.lines.push(line);
+        self.entries.push(MshrEntry::default());
+        self.entries.last_mut()
     }
 
     /// Returns the entry for `line`, if outstanding.
     pub fn entry_mut(&mut self, line: u64) -> Option<&mut MshrEntry> {
-        self.entries.get_mut(&line)
+        self.position(line).map(|i| &mut self.entries[i])
     }
 
     /// Removes and returns the entry for `line` (called on fill).
     pub fn take(&mut self, line: u64) -> Option<MshrEntry> {
-        self.entries.remove(&line)
+        let i = self.position(line)?;
+        self.lines.swap_remove(i);
+        Some(self.entries.swap_remove(i))
     }
 
     /// Returns the number of outstanding fills.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.lines.len()
     }
 
     /// Returns `true` with no outstanding fills.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.lines.is_empty()
     }
 
     /// Returns `true` when no further entry can be allocated.
+    #[inline]
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.lines.len() >= self.capacity
     }
 
     /// Returns the configured capacity.
@@ -151,6 +170,21 @@ mod tests {
     fn take_absent_is_none() {
         let mut m = MshrFile::new(1);
         assert!(m.take(42).is_none());
+    }
+
+    #[test]
+    fn take_from_middle_keeps_remaining_entries_addressable() {
+        let mut m = MshrFile::new(4);
+        for line in [10, 20, 30, 40] {
+            m.allocate(line).unwrap().ids.push(AccessId(line));
+        }
+        assert_eq!(m.take(20).unwrap().ids, vec![AccessId(20)]);
+        assert_eq!(m.len(), 3);
+        for line in [10, 30, 40] {
+            assert!(m.contains(line));
+            assert_eq!(m.entry_mut(line).unwrap().ids, vec![AccessId(line)]);
+        }
+        assert!(!m.contains(20));
     }
 
     #[test]

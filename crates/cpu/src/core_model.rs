@@ -119,6 +119,11 @@ pub struct Core {
     pending_nonmem: u32,
     /// The current record's memory op, once its `nonmem` prefix is in.
     pending_op: Option<crate::MemOp>,
+    /// ROB entries in `MemState::Waiting`. Maintained at the three
+    /// state-transition sites so [`stall`](Self::stall) can classify a
+    /// fully-issued ROB as `Blocked` in O(1) instead of scanning all
+    /// `rob_entries` every fast-forward attempt.
+    waiting_ops: u32,
     next_id: u64,
     stats: CoreStats,
 }
@@ -153,6 +158,7 @@ impl Core {
             rob_insts: 0,
             pending_nonmem: 0,
             pending_op: None,
+            waiting_ops: 0,
             next_id: 0,
             stats: CoreStats::default(),
         }
@@ -261,6 +267,7 @@ impl Core {
                         depends: op.depends_on_prev,
                         state: MemState::Waiting,
                     });
+                    self.waiting_ops += 1;
                     self.rob_insts += 1;
                     budget -= 1;
                 }
@@ -291,6 +298,7 @@ impl Core {
                     });
                     if accepted {
                         *state = MemState::Issued;
+                        self.waiting_ops -= 1;
                         issued += 1;
                     } else {
                         // The hierarchy is full; no point trying younger ops.
@@ -321,6 +329,11 @@ impl Core {
                 ..
             }) if *state != MemState::Done => {}
             _ => return CoreStall::Active,
+        }
+        // A ROB with no Waiting op cannot want issue — the common fully
+        // issued case resolves in O(1), no scan.
+        if self.waiting_ops == 0 {
+            return CoreStall::Blocked;
         }
         // Mirror `issue_ready`: find the first Waiting op that would
         // attempt issue this cycle.
@@ -357,6 +370,9 @@ impl Core {
         for entry in self.rob.iter_mut() {
             if let Entry::Mem { id: eid, state, .. } = entry {
                 if *eid == id {
+                    if *state == MemState::Waiting {
+                        self.waiting_ops -= 1;
+                    }
                     *state = MemState::Done;
                     return;
                 }
@@ -684,6 +700,52 @@ mod tests {
         jumped.fast_forward(CoreCycles::new(137));
         assert_eq!(ticked.stats(), jumped.stats());
         assert_eq!(ticked.stall(), jumped.stall());
+    }
+
+    /// The waiting-op counter that short-circuits `stall()` must agree
+    /// with a direct ROB scan across dispatch, issue, completion, and
+    /// retirement.
+    #[test]
+    fn waiting_counter_matches_rob_scan() {
+        let trace = Cycle::new(vec![
+            TraceRecord {
+                nonmem: 2,
+                op: Some(MemOp::load(64)),
+            },
+            TraceRecord {
+                nonmem: 0,
+                op: Some(MemOp::store(128).dependent()),
+            },
+            TraceRecord {
+                nonmem: 1,
+                op: Some(MemOp::load(192).dependent()),
+            },
+        ]);
+        let mut core = Core::new(CoreConfig::default(), Box::new(trace));
+        let mut in_flight: Vec<ReqId> = Vec::new();
+        for cycle in 0..500u64 {
+            let fl = &mut in_flight;
+            // Alternate acceptance so Waiting ops linger in the ROB.
+            core.tick(|a| {
+                if cycle % 3 != 0 {
+                    fl.push(a.id);
+                    true
+                } else {
+                    false
+                }
+            });
+            if cycle % 7 == 0 {
+                for id in in_flight.drain(..) {
+                    core.complete(id);
+                }
+            }
+            let scanned = core
+                .rob
+                .iter()
+                .filter(|e| matches!(e, Entry::Mem { state, .. } if *state == MemState::Waiting))
+                .count() as u32;
+            assert_eq!(core.waiting_ops, scanned, "cycle {cycle}");
+        }
     }
 
     #[test]

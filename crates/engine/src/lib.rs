@@ -13,6 +13,9 @@
 //! - [`TimerQueue`] — a deterministic pending-completion queue used by
 //!   components that have in-flight operations (cache fills, bank busy
 //!   intervals, bus transfers).
+//! - [`HorizonQueue`] — the event kernel's per-source horizon registry:
+//!   components post "my next work is at `t`" events and the main loop
+//!   pops the earliest instead of polling every component.
 //! - [`stats`] — counters, busy-time accumulators and histograms from which
 //!   every figure of the paper is ultimately computed.
 //! - [`DetRng`] — a small deterministic RNG so that identical seeds always
@@ -32,6 +35,7 @@
 //! ```
 
 mod clock;
+mod horizon;
 pub mod json;
 mod queue;
 mod rng;
@@ -40,6 +44,7 @@ mod time;
 mod timer;
 
 pub use clock::Clock;
+pub use horizon::HorizonQueue;
 pub use queue::BoundedQueue;
 pub use rng::DetRng;
 pub use time::{CoreCycles, Duration, MemCycles, SimTime};

@@ -212,12 +212,34 @@ struct InFlight {
     end: SimTime,
 }
 
-#[derive(Debug, Default)]
-struct BankState {
-    open_row: Option<u64>,
-    busy_until: SimTime,
-    in_flight: Option<InFlight>,
-    busy_time: Duration,
+/// Per-bank state in struct-of-arrays layout: the hot loops
+/// ([`Controller::issue`]'s round-robin pass and
+/// [`Controller::compute_next_actionable`]) read exactly one field
+/// (`busy_until`) across *all* banks per call, so keeping each field in
+/// its own dense lane turns those sweeps into contiguous scans instead
+/// of strided walks over a struct array.
+#[derive(Debug)]
+struct Banks {
+    open_row: Vec<Option<u64>>,
+    busy_until: Vec<SimTime>,
+    in_flight: Vec<Option<InFlight>>,
+    busy_time: Vec<Duration>,
+}
+
+impl Banks {
+    fn new(n: usize) -> Self {
+        Banks {
+            open_row: vec![None; n],
+            busy_until: vec![SimTime::ZERO; n],
+            in_flight: vec![None; n],
+            busy_time: vec![Duration::ZERO; n],
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.busy_until.len()
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -288,7 +310,7 @@ pub struct Controller {
     /// unchanged by issue and cancel (the write stays pending either
     /// way); only acceptance and completion move the count.
     pending_line_writes: HashMap<u64, u32>,
-    banks: Vec<BankState>,
+    banks: Banks,
     /// Recent activation times per rank, for tFAW.
     rank_acts: Vec<VecDeque<SimTime>>,
     bus_free_at: SimTime,
@@ -323,6 +345,10 @@ pub struct Controller {
     /// `tick` fast-paths such cycles. Reset to `ZERO` whenever a request
     /// is accepted.
     next_actionable: SimTime,
+    /// Raised whenever state affecting [`next_event`](Self::next_event)
+    /// may have changed; the event kernel re-queries the horizon only
+    /// when [`take_event_dirty`](Self::take_event_dirty) reports it.
+    event_dirty: bool,
 }
 
 impl Controller {
@@ -363,7 +389,7 @@ impl Controller {
         Controller {
             queues: RequestQueues::new(banks, cfg.use_scan_queues),
             pending_line_writes: HashMap::new(),
-            banks: (0..banks).map(|_| BankState::default()).collect(),
+            banks: Banks::new(banks),
             rank_acts: (0..cfg.num_ranks).map(|_| VecDeque::new()).collect(),
             bus_free_at: SimTime::ZERO,
             completions: TimerQueue::new(),
@@ -383,6 +409,7 @@ impl Controller {
             next_serial: 0,
             rr_start: 0,
             next_actionable: SimTime::ZERO,
+            event_dirty: true,
             policy,
             endurance,
             cancel_wear,
@@ -431,9 +458,7 @@ impl Controller {
 
     /// Whether a demand/eager write for `line` is in flight at `bank`.
     fn write_in_flight_at(&self, line: u64, bank: usize) -> bool {
-        self.banks[bank]
-            .in_flight
-            .is_some_and(|op| op.line == line && op.kind != OpKind::Read)
+        self.banks.in_flight[bank].is_some_and(|op| op.line == line && op.kind != OpKind::Read)
     }
 
     /// Offers a read for `line`. Returns `false` when the read queue is
@@ -462,6 +487,7 @@ impl Controller {
                 .record(end.saturating_since(now).as_ns());
             self.forwarded_pending.push_back((end, line));
             self.next_actionable = SimTime::ZERO;
+            self.event_dirty = true;
             return true;
         }
         if self.queues.read_len() >= self.cfg.read_queue_cap {
@@ -481,6 +507,7 @@ impl Controller {
         });
         self.stats.reads_accepted += 1;
         self.next_actionable = SimTime::ZERO;
+        self.event_dirty = true;
         true
     }
 
@@ -505,6 +532,7 @@ impl Controller {
         *self.pending_line_writes.entry(line).or_insert(0) += 1;
         self.stats.demand_writes_accepted += 1;
         self.next_actionable = SimTime::ZERO;
+        self.event_dirty = true;
         true
     }
 
@@ -537,6 +565,7 @@ impl Controller {
         *self.pending_line_writes.entry(line).or_insert(0) += 1;
         self.stats.eager_writes_accepted += 1;
         self.next_actionable = SimTime::ZERO;
+        self.event_dirty = true;
     }
 
     /// The controller's next-event hook for the system's fast-forward
@@ -570,7 +599,19 @@ impl Controller {
 
     /// Removes and returns the next completed read's line address.
     pub fn pop_read_done(&mut self) -> Option<u64> {
-        self.read_done.pop_front()
+        let line = self.read_done.pop_front();
+        if line.is_some() {
+            self.event_dirty = true;
+        }
+        line
+    }
+
+    /// Returns and clears the event-dirty flag: whether any state change
+    /// since the last call may have moved [`next_event`](Self::next_event).
+    /// The event kernel skips re-querying the horizon while this is
+    /// `false`.
+    pub fn take_event_dirty(&mut self) -> bool {
+        std::mem::replace(&mut self.event_dirty, false)
     }
 
     fn alloc_serial(&mut self) -> u64 {
@@ -594,6 +635,7 @@ impl Controller {
         self.cancel_writes_for_reads(now);
         let tfaw_blocked = self.issue(now);
         self.next_actionable = self.compute_next_actionable(now, tfaw_blocked);
+        self.event_dirty = true;
     }
 
     /// The earliest time a future tick could act given current state —
@@ -638,19 +680,21 @@ impl Controller {
             next = next.min(self.next_period_at);
         }
         for bank_idx in 0..self.banks.len() {
+            // `decide_write` is non-idle exactly when a write is queued
+            // or an eager write is queued with no read ahead of it;
+            // OR-ed with the read check this collapses to plain queue
+            // occupancy, so no policy evaluation is needed here.
             let issueable = if self.draining {
                 self.queues.writes_at(bank_idx) > 0
             } else {
                 self.queues.reads_at(bank_idx) > 0
-                    || !matches!(
-                        decide_write(&self.policy, self.bank_view(bank_idx)),
-                        WriteDecision::Idle
-                    )
+                    || self.queues.writes_at(bank_idx) > 0
+                    || self.queues.eager_at(bank_idx) > 0
             };
             if !issueable {
                 continue;
             }
-            let busy_until = self.banks[bank_idx].busy_until;
+            let busy_until = self.banks.busy_until[bank_idx];
             if busy_until <= now {
                 return SimTime::ZERO;
             }
@@ -671,14 +715,13 @@ impl Controller {
 
     fn process_completions(&mut self, now: SimTime) {
         while let Some(c) = self.completions.pop_due(now) {
-            let bank = &mut self.banks[c.bank];
-            let Some(op) = bank.in_flight else {
+            let Some(op) = self.banks.in_flight[c.bank] else {
                 continue; // cancelled
             };
             if op.serial != c.serial {
                 continue; // cancelled and bank reused
             }
-            bank.in_flight = None;
+            self.banks.in_flight[c.bank] = None;
             match op.kind {
                 OpKind::Read => {
                     self.read_done.push_back(op.line);
@@ -874,8 +917,9 @@ impl Controller {
             if self.queues.reads_at(bank_idx) == 0 {
                 continue;
             }
-            let bank = &mut self.banks[bank_idx];
-            let Some(op) = bank.in_flight else { continue };
+            let Some(op) = self.banks.in_flight[bank_idx] else {
+                continue;
+            };
             if op.kind == OpKind::Read || !op.cancellable || now >= op.end {
                 continue;
             }
@@ -915,10 +959,10 @@ impl Controller {
             };
             // Refund the unspent busy time (saturating: the issue may
             // predate a measurement reset that zeroed busy_time).
-            let bank = &mut self.banks[bank_idx];
-            bank.busy_time = bank.busy_time.saturating_sub(op.end.saturating_since(now));
-            bank.busy_until = now;
-            bank.in_flight = None;
+            self.banks.busy_time[bank_idx] =
+                self.banks.busy_time[bank_idx].saturating_sub(op.end.saturating_since(now));
+            self.banks.busy_until[bank_idx] = now;
+            self.banks.in_flight[bank_idx] = None;
             if !in_pulse {
                 // The line was still bursting over the bus: no data has
                 // reached the bank, so the retry is not `data_resident`,
@@ -967,7 +1011,7 @@ impl Controller {
         let mut tfaw_blocked = false;
         for i in 0..n {
             let bank_idx = (start + i) % n;
-            if now < self.banks[bank_idx].busy_until {
+            if now < self.banks.busy_until[bank_idx] {
                 continue;
             }
             if self.draining {
@@ -985,7 +1029,7 @@ impl Controller {
             // Reads have priority: row-buffer hit first, then oldest.
             if let Some((req, pick)) = self
                 .queues
-                .pick_read(bank_idx, self.banks[bank_idx].open_row)
+                .pick_read(bank_idx, self.banks.open_row[bank_idx])
             {
                 if !self.issue_read(bank_idx, req, pick, now) {
                     tfaw_blocked = true; // retry next cycle
@@ -1023,7 +1067,7 @@ impl Controller {
         pick: ReadPick,
         now: SimTime,
     ) -> bool {
-        let hit = self.banks[bank_idx].open_row == Some(req.row);
+        let hit = self.banks.open_row[bank_idx] == Some(req.row);
         if !hit && !self.try_activate(self.cfg.rank_of(bank_idx), now) {
             return false;
         }
@@ -1031,7 +1075,7 @@ impl Controller {
         let access_done = if hit {
             now + self.cfg.t_cas
         } else {
-            self.banks[bank_idx].open_row = Some(req.row);
+            self.banks.open_row[bank_idx] = Some(req.row);
             now + self.cfg.t_rcd + self.cfg.t_cas
         };
         let xfer_start = access_done.max(self.bus_free_at);
@@ -1045,10 +1089,9 @@ impl Controller {
             self.stats.rb_miss_reads += 1;
         }
         let serial = self.alloc_serial();
-        let bank = &mut self.banks[bank_idx];
-        bank.busy_time += end.saturating_since(now);
-        bank.busy_until = end;
-        bank.in_flight = Some(InFlight {
+        self.banks.busy_time[bank_idx] += end.saturating_since(now);
+        self.banks.busy_until[bank_idx] = end;
+        self.banks.in_flight[bank_idx] = Some(InFlight {
             serial,
             kind: OpKind::Read,
             line: req.line,
@@ -1106,10 +1149,9 @@ impl Controller {
             self.stats.writes_issued_normal += 1;
         }
         let serial = self.alloc_serial();
-        let bank = &mut self.banks[bank_idx];
-        bank.busy_time += end.saturating_since(now);
-        bank.busy_until = end;
-        bank.in_flight = Some(InFlight {
+        self.banks.busy_time[bank_idx] += end.saturating_since(now);
+        self.banks.busy_until[bank_idx] = end;
+        self.banks.in_flight[bank_idx] = Some(InFlight {
             serial,
             kind,
             line: req.line,
@@ -1151,8 +1193,9 @@ impl Controller {
     /// Returns each bank's utilization (busy fraction) over `elapsed`.
     pub fn bank_utilization(&self, elapsed: Duration) -> Vec<f64> {
         self.banks
+            .busy_time
             .iter()
-            .map(|b| b.busy_time.fraction_of(elapsed))
+            .map(|b| b.fraction_of(elapsed))
             .collect()
     }
 
@@ -1286,9 +1329,7 @@ impl Controller {
             ledger = ledger.with_block_tracking(self.leveler.physical_blocks_per_bank());
         }
         self.ledger = ledger;
-        for bank in &mut self.banks {
-            bank.busy_time = Duration::ZERO;
-        }
+        self.banks.busy_time.fill(Duration::ZERO);
         let was_draining = self.draining;
         self.drain_tracker = BusyTracker::new();
         if was_draining {
@@ -1301,6 +1342,7 @@ impl Controller {
             self.next_period_at = now + qc.sample_period;
         }
         self.next_actionable = SimTime::ZERO;
+        self.event_dirty = true;
     }
 }
 

@@ -3,8 +3,16 @@
 use crate::{Metrics, SystemConfig};
 use mellow_cache::{line_of, AccessId, Cache};
 use mellow_cpu::{Core, CoreStall, ReqId, TraceSource};
-use mellow_engine::{CoreCycles, DetRng, SimTime};
+use mellow_engine::{CoreCycles, DetRng, HorizonQueue, SimTime};
 use mellow_memctrl::Controller;
+
+/// Horizon-source ids for the event kernel's [`HorizonQueue`].
+const SRC_SAMPLE: usize = 0;
+const SRC_L1: usize = 1;
+const SRC_L2: usize = 2;
+const SRC_LLC: usize = 3;
+const SRC_CTRL: usize = 4;
+const NUM_SOURCES: usize = 5;
 
 /// Drains one output queue into a consumer: items transfer in order
 /// until `try_accept` reports the consumer full (backpressure). `peek`
@@ -36,10 +44,10 @@ fn drain<S, T>(
 /// responses back up, ticking the memory controller on every fifth core
 /// cycle (400 MHz), probing for Eager Mellow Write candidates while the
 /// LLC is idle, and sampling the utility monitor every `T_sample`.
-/// [`run_instructions`](Self::run_instructions) additionally
-/// fast-forwards over provably idle spans using each component's
-/// next-event hook (see DESIGN.md §5), producing bit-identical results
-/// to the pure cycle loop.
+/// [`run_instructions`](Self::run_instructions) additionally jumps
+/// over provably idle spans using the event kernel's horizon queue
+/// (see DESIGN.md §5 and §12), producing bit-identical results to the
+/// pure cycle loop and to the polling fast-forward oracle.
 ///
 /// Most users should drive it through
 /// [`Experiment`](crate::Experiment), which adds the paper's
@@ -52,6 +60,11 @@ pub struct System {
     llc: Cache,
     ctrl: Controller,
     eager_rng: DetRng,
+    /// Per-source event horizons for the event-kernel loop: components
+    /// post "my next work is at `t`" when their state changes and
+    /// [`advance_event`](Self::advance_event) pops the earliest instead
+    /// of polling every component.
+    horizons: HorizonQueue,
     cycle: CoreCycles,
     now: SimTime,
     measure_start: SimTime,
@@ -107,6 +120,7 @@ impl System {
             llc,
             ctrl,
             eager_rng,
+            horizons: HorizonQueue::new(NUM_SOURCES),
             cycle: CoreCycles::ZERO,
             now: SimTime::ZERO,
             measure_start: SimTime::ZERO,
@@ -322,32 +336,185 @@ impl System {
         self.now = c.edge(&clock);
     }
 
+    /// Re-posts the horizon of every component whose event-affecting
+    /// state changed since the last call (the event-dirty protocol:
+    /// each component raises a flag on any mutation that can move its
+    /// `next_event`, and is re-queried only when the flag is set). The
+    /// sampler has no flag; its boundary is re-posted unconditionally —
+    /// posting an unchanged horizon is a no-op.
+    fn refresh_horizons(&mut self) {
+        self.horizons.post(SRC_SAMPLE, self.next_sample_at);
+        let now = self.now;
+        for (src, cache) in [
+            (SRC_L1, &mut self.l1),
+            (SRC_L2, &mut self.l2),
+            (SRC_LLC, &mut self.llc),
+        ] {
+            if cache.take_event_dirty() {
+                match cache.next_event(now) {
+                    Some(t) => self.horizons.post(src, t),
+                    None => self.horizons.withdraw(src),
+                }
+            }
+        }
+        if self.ctrl.take_event_dirty() {
+            match self.ctrl.next_event() {
+                // The controller acts only on memory-clock edges, so its
+                // horizon posts pre-aligned to the first edge at or past
+                // the actionable time. `next_multiple_of` distributes
+                // over `max`, so the per-jump "no earlier than the next
+                // cycle" clamp can move to pop time (`ctrl_floor` in
+                // [`advance_event`](Self::advance_event)) and the posted
+                // horizon stays valid across jumps.
+                Some(t) => {
+                    let edge = CoreCycles::at_or_after(t, &self.cfg.core_clock)
+                        .next_multiple_of(self.mem_divisor)
+                        .edge(&self.cfg.core_clock);
+                    self.horizons.post(SRC_CTRL, edge);
+                }
+                None => self.horizons.withdraw(SRC_CTRL),
+            }
+        }
+    }
+
+    /// The event-kernel variant of [`fast_forward`](Self::fast_forward):
+    /// identical jump semantics and bit-identical results, but the next
+    /// horizon comes from the [`HorizonQueue`] — refreshed only for
+    /// components that flagged a state change — instead of re-polling
+    /// every component after every tick, and the skipped eager-probe
+    /// RNG stream is replayed in closed form by
+    /// [`Cache::eager_probe_span`] instead of draw by draw.
+    fn advance_event(&mut self) {
+        self.refresh_horizons();
+        let stall = self.core.stall();
+        match stall {
+            CoreStall::Active => return,
+            CoreStall::Blocked => {}
+            CoreStall::BlockedWantsIssue => {
+                if !self.l1.input_full() {
+                    return;
+                }
+            }
+        }
+        if self.l1.has_pending_transfers()
+            || self.l2.has_pending_transfers()
+            || self.llc.has_pending_transfers()
+        {
+            return;
+        }
+
+        let clock = self.cfg.core_clock;
+        let cycle_at = |t: SimTime| CoreCycles::at_or_after(t, &clock);
+        // Pop horizons in raw-time order until the next raw horizon can
+        // no longer beat the best effective cycle (raw time lower-bounds
+        // the effective cycle), then re-post the inspected entries.
+        let ctrl_floor = (self.cycle + CoreCycles::ONE).next_multiple_of(self.mem_divisor);
+        let mut inspected = [(SimTime::ZERO, 0usize); NUM_SOURCES];
+        let mut count = 0;
+        let mut best: Option<CoreCycles> = None;
+        while let Some((due, src)) = self.horizons.pop_earliest() {
+            inspected[count] = (due, src);
+            count += 1;
+            let lower = cycle_at(due);
+            if best.is_some_and(|b| lower >= b) {
+                break;
+            }
+            let eff = if src == SRC_CTRL {
+                lower.max(ctrl_floor)
+            } else {
+                lower
+            };
+            best = Some(best.map_or(eff, |b| b.min(eff)));
+        }
+        for &(due, src) in &inspected[..count] {
+            self.horizons.repost(src, due);
+        }
+        let Some(next) = best else {
+            return; // unreachable: the sample horizon is always live
+        };
+        if next <= self.cycle + CoreCycles::ONE {
+            return; // something acts on the very next cycle
+        }
+        let skip_to = next - CoreCycles::ONE;
+
+        let start = self.cycle;
+        let mut c = skip_to;
+        // Replay the skipped eager probes in closed form: the span
+        // consumes the same RNG stream as one probe per cycle, and a
+        // successful probe enqueues the eager write — re-arming the
+        // controller — so it truncates the jump at that cycle.
+        if self.cfg.policy.base.uses_eager() && self.llc.input_idle() && self.ctrl.eager_has_room()
+        {
+            let (consumed, candidate) = self
+                .llc
+                .eager_probe_span(&mut self.eager_rng, (skip_to - start).count());
+            if let Some(line) = candidate {
+                c = start + CoreCycles::new(consumed);
+                self.ctrl.try_eager(line, c.edge(&clock));
+            } else {
+                debug_assert_eq!(consumed, (skip_to - start).count());
+            }
+        }
+        let skipped = c - start;
+        self.core.fast_forward(skipped);
+        if stall == CoreStall::BlockedWantsIssue {
+            self.l1.fast_forward_rejected_inputs(skipped);
+        }
+        for cache in [&mut self.l1, &mut self.l2, &mut self.llc] {
+            if cache.head_stalled_on_mshrs(self.now) {
+                cache.fast_forward_stalled(skipped);
+            }
+        }
+        self.ctrl
+            .fast_forward_idle(c.to_mem(self.mem_divisor) - start.to_mem(self.mem_divisor));
+        self.cycle = c;
+        self.now = c.edge(&clock);
+    }
+
     /// Runs until `n` more instructions retire.
     ///
-    /// Unless [`SystemConfig::use_cycle_loop`] is set, provably idle
-    /// spans are fast-forwarded: after each tick the system jumps
-    /// directly to one cycle before the earliest next event — a cache
-    /// input head coming due, the controller's actionable horizon at a
-    /// memory-clock edge, or the utility-monitor sample boundary —
-    /// batch-replaying the skipped ticks' side effects (see
-    /// [`fast_forward`](Self::fast_forward)). The two loops produce
-    /// bit-identical results; the cycle loop survives as the
-    /// equivalence oracle.
+    /// By default the event kernel drives the run: after each tick,
+    /// provably idle spans are jumped directly to one cycle before the
+    /// earliest posted horizon — a cache input head coming due, the
+    /// controller's actionable memory-clock edge, or the
+    /// utility-monitor sample boundary — batch-replaying the skipped
+    /// ticks' side effects (see
+    /// [`advance_event`](Self::advance_event)). Two oracle loops
+    /// produce bit-identical results and survive for the equivalence
+    /// tests: [`SystemConfig::use_cycle_loop`] ticks every cycle, and
+    /// [`SystemConfig::use_fast_forward`] jumps by re-polling every
+    /// component's `next_event` hook instead of using the horizon
+    /// queue (see [`fast_forward`](Self::fast_forward)).
     ///
     /// # Panics
     ///
     /// Panics if the system fails to retire them within `400 × n + 10⁷`
     /// cycles (a deadlock would otherwise spin forever).
     pub fn run_instructions(&mut self, n: u64) {
+        enum Loop {
+            Cycle,
+            FastForward,
+            Event,
+        }
+        let kind = if self.cfg.use_cycle_loop {
+            Loop::Cycle
+        } else if self.cfg.use_fast_forward {
+            Loop::FastForward
+        } else {
+            Loop::Event
+        };
         let target = self.core.retired_instructions() + n;
         let cycle_cap = self.cycle + CoreCycles::new(400 * n + 10_000_000);
-        let cycle_loop = self.cfg.use_cycle_loop;
         while self.core.retired_instructions() < target {
             self.tick();
             // Never jump past the tick that retires the final
             // instruction: the loops must exit at the same cycle.
-            if !cycle_loop && self.core.retired_instructions() < target {
-                self.fast_forward();
+            if self.core.retired_instructions() < target {
+                match kind {
+                    Loop::Cycle => {}
+                    Loop::FastForward => self.fast_forward(),
+                    Loop::Event => self.advance_event(),
+                }
             }
             assert!(
                 self.cycle < cycle_cap,
@@ -471,12 +638,14 @@ mod tests {
         assert_eq!(sys.next_sample_at, SimTime::from_ps(1800));
     }
 
-    /// Runs the same trace under both loops and asserts bit-identical
+    /// Runs the same trace under all three loops (cycle oracle, polling
+    /// fast-forward oracle, event kernel) and asserts bit-identical
     /// metrics and internal clocks.
     fn assert_loops_identical(policy: WritePolicy, store_every: u64, instructions: u64) {
-        let run = |cycle_loop: bool| {
+        let run = |cycle_loop: bool, fast_forward: bool| {
             let mut cfg = scaled_config(policy);
             cfg.use_cycle_loop = cycle_loop;
+            cfg.use_fast_forward = fast_forward;
             let mut sys = System::new(cfg, Synth::new(0xDECAF, store_every));
             sys.run_instructions(instructions / 2);
             sys.begin_measurement();
@@ -487,11 +656,15 @@ mod tests {
                 sys.metrics("synth").to_json().to_string(),
             )
         };
-        let (slow_cycle, slow_now, slow) = run(true);
-        let (fast_cycle, fast_now, fast) = run(false);
-        assert_eq!(slow_cycle, fast_cycle, "loops diverged in cycle count");
-        assert_eq!(slow_now, fast_now);
-        assert_eq!(slow, fast, "loops diverged in metrics");
+        let (slow_cycle, slow_now, slow) = run(true, false);
+        let (ff_cycle, ff_now, ff) = run(false, true);
+        let (ev_cycle, ev_now, ev) = run(false, false);
+        assert_eq!(slow_cycle, ff_cycle, "fast-forward diverged in cycles");
+        assert_eq!(slow_now, ff_now);
+        assert_eq!(slow, ff, "fast-forward diverged in metrics");
+        assert_eq!(slow_cycle, ev_cycle, "event kernel diverged in cycles");
+        assert_eq!(slow_now, ev_now);
+        assert_eq!(slow, ev, "event kernel diverged in metrics");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use mellow_writes::core::{
     decide_write, BankQueueView, UtilityMonitor, WearQuota, WearQuotaConfig, WriteDecision,
     WritePolicy,
 };
-use mellow_writes::engine::{BoundedQueue, Duration, SimTime, TimerQueue};
+use mellow_writes::engine::{BoundedQueue, Clock, Duration, SimTime, TimerQueue};
 use mellow_writes::nvm::{CancelWear, EnduranceModel, ExpoFactor, StartGap, WearLedger};
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -410,5 +410,63 @@ proptest! {
                 .to_string()
         };
         prop_assert_eq!(run(true), run(false));
+    }
+
+    /// The event-queue kernel reproduces both oracle loops — the pure
+    /// cycle loop and the polling fast-forward loop — bit for bit under
+    /// randomized system shapes: controller queue depths (and drain
+    /// thresholds derived from them), eager policies, the memory-clock
+    /// divisor, and the utility-monitor sample period. This is the
+    /// 256-case sweep guarding the event kernel's horizon bookkeeping
+    /// (stale-horizon withdrawal, pre-aligned controller posting, and
+    /// the closed-form eager-probe RNG replay).
+    #[test]
+    fn event_kernel_equivalent_under_random_configs(
+        policy in arb_policy(),
+        wl in 0usize..16,
+        seed in any::<u64>(),
+        read_cap in 4usize..24,
+        write_cap in 8usize..40,
+        eager_cap in 2usize..20,
+        div_idx in 0usize..5,
+        sample_us in 1u64..5,
+    ) {
+        use mellow_writes::sim::Experiment;
+        use mellow_writes::workloads::WorkloadSpec;
+
+        let names = WorkloadSpec::names();
+        let name = names[wl % names.len()].clone();
+        // Memory clocks that divide the 2 GHz core clock evenly.
+        let mem_mhz = [1000u64, 500, 400, 250, 200][div_idx];
+        let run = |cycle_loop: bool, fast_forward: bool| {
+            let mut spec = WorkloadSpec::by_name(&name).unwrap();
+            spec.avg_interval = (spec.avg_interval / 8.0).max(2.0);
+            spec.working_set_bytes = spec.working_set_bytes.min(8 << 20);
+            Experiment::with_spec(spec, policy)
+                .warmup(2_000)
+                .instructions(4_000)
+                .seed(seed)
+                .configure(move |c| {
+                    c.l1.size_bytes = 4 << 10;
+                    c.l2.size_bytes = 16 << 10;
+                    c.llc.size_bytes = 64 << 10;
+                    c.mem.capacity_bytes = 1 << 24;
+                    c.mem.clock = Clock::from_mhz(mem_mhz);
+                    c.mem.sample_period = Duration::from_us(sample_us);
+                    c.mem.read_queue_cap = read_cap;
+                    c.mem.write_queue_cap = write_cap;
+                    c.mem.eager_queue_cap = eager_cap;
+                    c.mem.drain_high = write_cap;
+                    c.mem.drain_low = write_cap / 2;
+                    c.use_cycle_loop = cycle_loop;
+                    c.use_fast_forward = fast_forward;
+                })
+                .run()
+                .to_json()
+                .to_string()
+        };
+        let cycle = run(true, false);
+        prop_assert_eq!(&cycle, &run(false, true));
+        prop_assert_eq!(cycle, run(false, false));
     }
 }

@@ -113,11 +113,106 @@ impl<R: RngCore + ?Sized> RngExt for R {}
 /// Small, fast generators.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
+    use std::sync::OnceLock;
 
     /// xoshiro256++ — the small-state generator used for simulation.
     #[derive(Debug, Clone, PartialEq, Eq)]
     pub struct SmallRng {
         s: [u64; 4],
+    }
+
+    /// The xoshiro256++ state transition, separated from output mixing so
+    /// [`SmallRng::discard`] can advance the stream without producing
+    /// values.
+    #[inline]
+    fn step(s: &mut [u64; 4]) {
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+    }
+
+    /// A 256x256 GF(2) matrix stored as 256 column vectors of the 256-bit
+    /// state (bit `i` of the state lives at `col[i / 64] >> (i % 64)`).
+    type JumpMatrix = [[u64; 4]; 256];
+
+    /// Applies `m` to the state vector `s` over GF(2): the result is the
+    /// XOR of the columns selected by the set bits of `s`.
+    fn apply(m: &JumpMatrix, s: &[u64; 4]) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        for (i, col) in m.iter().enumerate() {
+            if (s[i / 64] >> (i % 64)) & 1 == 1 {
+                for (o, c) in out.iter_mut().zip(col) {
+                    *o ^= c;
+                }
+            }
+        }
+        out
+    }
+
+    /// Precomputed powers `T^(2^k)` of the one-step transition matrix, so
+    /// a jump of any `n` is the product of at most 64 matrix applications
+    /// (one per set bit of `n`).
+    fn jump_tables() -> &'static [JumpMatrix; 64] {
+        static TABLES: OnceLock<Box<[JumpMatrix; 64]>> = OnceLock::new();
+        TABLES.get_or_init(|| {
+            let mut tables = vec![[[0u64; 4]; 256]; 64];
+            // T itself: column i is the transition applied to basis
+            // vector e_i (the transition is linear over GF(2) — only
+            // XORs, shifts, and rotates touch the state).
+            for i in 0..256 {
+                let mut s = [0u64; 4];
+                s[i / 64] = 1u64 << (i % 64);
+                step(&mut s);
+                tables[0][i] = s;
+            }
+            // T^(2^(k+1)) = T^(2^k) applied to each of its own columns.
+            for k in 1..64 {
+                let (prev, rest) = tables.split_at_mut(k);
+                let src = &prev[k - 1];
+                for (dst, col) in rest[0].iter_mut().zip(src.iter()) {
+                    *dst = apply(src, col);
+                }
+            }
+            let boxed: Box<[JumpMatrix; 64]> = match tables.into_boxed_slice().try_into() {
+                Ok(b) => b,
+                Err(_) => unreachable!("vec built with exactly 64 tables"),
+            };
+            boxed
+        })
+    }
+
+    /// Below this count a sequential state walk is cheaper than the
+    /// matrix jump (one matrix application is ~256 conditional 4-word
+    /// XORs, a sequential step ~6 word ops).
+    const SEQUENTIAL_JUMP_LIMIT: u64 = 4096;
+
+    impl SmallRng {
+        /// Advances the generator past the next `n` outputs in `O(log n)`
+        /// without computing them, exactly as if [`RngCore::next_u64`]
+        /// had been called `n` times and the results discarded.
+        ///
+        /// The xoshiro256++ state transition is linear over GF(2), so an
+        /// `n`-step jump is a product of precomputed matrix powers
+        /// `T^(2^k)`; small `n` just walks the transition directly.
+        pub fn discard(&mut self, n: u64) {
+            if n < SEQUENTIAL_JUMP_LIMIT {
+                for _ in 0..n {
+                    step(&mut self.s);
+                }
+                return;
+            }
+            let tables = jump_tables();
+            let mut remaining = n;
+            while remaining != 0 {
+                let k = remaining.trailing_zeros();
+                self.s = apply(&tables[k as usize], &self.s);
+                remaining &= remaining - 1;
+            }
+        }
     }
 
     #[inline]
@@ -148,13 +243,7 @@ pub mod rngs {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
             let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
-            let t = s[1] << 17;
-            s[2] ^= s[0];
-            s[3] ^= s[1];
-            s[1] ^= s[2];
-            s[0] ^= s[3];
-            s[2] ^= t;
-            s[3] = s[3].rotate_left(45);
+            step(s);
             result
         }
     }
@@ -191,6 +280,36 @@ mod tests {
             let x: f64 = rng.random();
             assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn discard_matches_sequential_draws() {
+        use super::RngCore;
+        // Cover the sequential path, both sides of the threshold, and
+        // multi-bit counts that exercise several jump tables.
+        for &n in &[0u64, 1, 2, 63, 4095, 4096, 4097, 65_536, 1_000_000] {
+            let mut jumped = SmallRng::seed_from_u64(0xFEED ^ n);
+            let mut walked = jumped.clone();
+            jumped.discard(n);
+            for _ in 0..n.min(1_000_000) {
+                walked.next_u64();
+            }
+            assert_eq!(jumped, walked, "discard({n}) diverged from {n} draws");
+            // And the streams stay aligned afterwards.
+            for _ in 0..8 {
+                assert_eq!(jumped.next_u64(), walked.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn discard_composes() {
+        let mut split = SmallRng::seed_from_u64(3);
+        let mut whole = split.clone();
+        split.discard(10_000);
+        split.discard(123_456);
+        whole.discard(133_456);
+        assert_eq!(split, whole);
     }
 
     #[test]
