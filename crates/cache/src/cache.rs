@@ -260,6 +260,10 @@ pub struct Cache {
     /// consumed by the event kernel via
     /// [`take_event_dirty`](Self::take_event_dirty).
     event_dirty: bool,
+    /// Sites that raised the flag since the kernel last drained them;
+    /// consumed by the sanitizer for forbidden-site attribution.
+    #[cfg(feature = "sanitize")]
+    dirty_sites: Vec<&'static str>,
 }
 
 impl Cache {
@@ -287,12 +291,15 @@ impl Cache {
             dirty_lines: 0,
             set_dirty: vec![0; num_sets as usize],
             event_dirty: true,
+            #[cfg(feature = "sanitize")]
+            dirty_sites: Vec::new(),
             cfg,
         }
     }
 
     /// Attaches the Eager Mellow Writes utility monitor (normally only on
     /// the LLC).
+    // mellow-lint: allow(horizon-protocol) -- setup-time attach before the first refresh; the monitor never feeds next_event
     pub fn enable_eager(&mut self) {
         self.eager = Some(EagerState {
             monitor: UtilityMonitor::new(self.cfg.assoc),
@@ -390,6 +397,38 @@ impl Cache {
         std::mem::replace(&mut self.event_dirty, false)
     }
 
+    /// Raises the event-dirty flag, attributing the raise to `site` when
+    /// the sanitizer is compiled in.
+    fn raise_dirty(&mut self, site: &'static str) {
+        self.event_dirty = true;
+        #[cfg(feature = "sanitize")]
+        self.dirty_sites.push(site);
+        #[cfg(not(feature = "sanitize"))]
+        let _ = site;
+    }
+
+    /// Drains the sites that raised the dirty flag since the last drain.
+    #[cfg(feature = "sanitize")]
+    pub fn take_dirty_sites(&mut self) -> Vec<&'static str> {
+        std::mem::take(&mut self.dirty_sites)
+    }
+
+    /// Test hook: raises the dirty flag from an arbitrary `site`, for
+    /// sanitizer violation-injection tests.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_raise_dirty(&mut self, site: &'static str) {
+        self.raise_dirty(site);
+    }
+
+    /// Test hook: suppresses a pending dirty flag (and its sites) so a
+    /// horizon-moving mutation goes unreported — the late-wake violation
+    /// the sanitizer must catch.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_clear_dirty(&mut self) {
+        self.event_dirty = false;
+        self.dirty_sites.clear();
+    }
+
     /// Returns `true` while any output queue (completions, fills up,
     /// misses down, writebacks down) holds an undelivered message — the
     /// owner retries those transfers every cycle, so the cache cannot be
@@ -420,7 +459,7 @@ impl Cache {
             ready: now + self.cfg.hit_latency,
             msg,
         });
-        self.event_dirty = true;
+        self.raise_dirty("try_push");
         true
     }
 
@@ -466,7 +505,7 @@ impl Cache {
     /// Panics if no MSHR is outstanding for `line` (protocol violation).
     pub fn deliver_fill(&mut self, line: u64, _now: SimTime) {
         self.stats.fills += 1;
-        self.event_dirty = true;
+        self.raise_dirty("deliver_fill");
         let entry = self
             .mshrs
             .take(line)
@@ -529,8 +568,9 @@ impl Cache {
             if head.ready > now {
                 break;
             }
-            self.event_dirty = true;
-            match head.msg {
+            let msg = head.msg;
+            self.raise_dirty("tick");
+            match msg {
                 Incoming::Demand { id, line, is_store } => {
                     if !self.process_demand(id, line, is_store) {
                         // MSHR full: stall the head and retry next tick.
@@ -616,11 +656,13 @@ impl Cache {
 
     /// Removes and returns the next completed demand id (top-level
     /// interface).
+    // mellow-lint: allow(horizon-protocol) -- output pop: draining a done queue cannot move next_event earlier (DESIGN §12)
     pub fn pop_completion(&mut self) -> Option<AccessId> {
         self.completions.pop_front()
     }
 
     /// Removes and returns the next line available for the level above.
+    // mellow-lint: allow(horizon-protocol) -- output pop: draining a done queue cannot move next_event earlier (DESIGN §12)
     pub fn pop_fill_up(&mut self) -> Option<u64> {
         self.fills_up.pop_front()
     }
@@ -632,6 +674,7 @@ impl Cache {
     }
 
     /// Removes the fetch returned by [`peek_miss_down`](Self::peek_miss_down).
+    // mellow-lint: allow(horizon-protocol) -- output pop: draining a done queue cannot move next_event earlier (DESIGN §12)
     pub fn pop_miss_down(&mut self) -> Option<u64> {
         self.miss_down.pop_front()
     }
@@ -644,6 +687,7 @@ impl Cache {
 
     /// Removes the writeback returned by
     /// [`peek_writeback_down`](Self::peek_writeback_down).
+    // mellow-lint: allow(horizon-protocol) -- output pop: draining a done queue cannot move next_event earlier (DESIGN §12)
     pub fn pop_writeback_down(&mut self) -> Option<u64> {
         self.wb_down.pop_front()
     }

@@ -39,6 +39,8 @@ mod horizon;
 pub mod json;
 mod queue;
 mod rng;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod stats;
 mod time;
 mod timer;

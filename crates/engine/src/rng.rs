@@ -33,6 +33,16 @@ impl DetRng {
         }
     }
 
+    /// Builds a named top-level stream directly from the experiment seed:
+    /// `xor_stream(seed, STREAM)` is exactly `seed_from(seed ^ STREAM)`,
+    /// spelled so the stream id is part of the constructor name trail.
+    ///
+    /// This is the sanctioned way to stand up a standalone stream without
+    /// a parent generator to [`derive`](Self::derive) from.
+    pub fn xor_stream(seed: u64, stream: u64) -> Self {
+        DetRng::seed_from(seed ^ stream)
+    }
+
     /// Derives an independent child generator; `stream` distinguishes
     /// siblings derived from the same parent seed.
     ///
@@ -202,5 +212,14 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn below_zero_bound_panics() {
         let _ = DetRng::seed_from(0).below(0);
+    }
+
+    #[test]
+    fn xor_stream_is_seed_from_of_xor() {
+        let mut named = DetRng::xor_stream(0xDEAD_BEEF, 0x6d65_6c6c_6f77);
+        let mut plain = DetRng::seed_from(0xDEAD_BEEF ^ 0x6d65_6c6c_6f77);
+        for _ in 0..100 {
+            assert_eq!(named.next_u64(), plain.next_u64());
+        }
     }
 }

@@ -1,0 +1,296 @@
+//! mellow-san — the runtime simulation sanitizer.
+//!
+//! A shadow-state checker for the event kernel's dirty-flag protocol
+//! (DESIGN.md §13). The kernel wraps its [`HorizonQueue`] traffic and
+//! component dirty-flag transitions with the hooks below; the sanitizer
+//! mirrors every posted horizon and keeps a bounded trail of recent
+//! protocol events, then panics with the full trail on the first
+//! violation:
+//!
+//! - **late wake** — a component whose dirty flag is down answers
+//!   `next_event` with an instant *earlier* than its posted horizon: some
+//!   mutation moved the horizon without raising the flag, and the kernel
+//!   would have slept past it;
+//! - **stale-generation pop acted on** — the kernel received a popped
+//!   horizon that does not match the source's current posting (a
+//!   superseded heap entry leaked through the generation filter);
+//! - **dirty flag raised by forbidden site** — a site the protocol
+//!   classifies as unable to move the horizon (output pops, stats resets,
+//!   idle fast-forwards) raised the flag anyway, which masks real
+//!   protocol bugs behind spurious refreshes;
+//! - **mem-edge-misaligned controller horizon** — the controller's
+//!   horizon was posted at an instant that is not a whole memory-clock
+//!   edge, breaking the pop-time clamp's validity argument.
+//!
+//! The whole module is compiled only under the `sanitize` feature; with
+//! the feature off the simulator contains no shadow state and no hook
+//! calls, and produces bit-identical metrics.
+//!
+//! [`HorizonQueue`]: crate::HorizonQueue
+
+use std::collections::VecDeque;
+
+use crate::{CoreCycles, Duration, SimTime};
+
+/// Recent protocol events kept for the panic report.
+const TRAIL_CAP: usize = 64;
+
+#[derive(Debug, Clone)]
+struct TrailEvent {
+    cycle: CoreCycles,
+    now: SimTime,
+    what: String,
+}
+
+/// The shadow-state checker. One instance lives next to the kernel's
+/// real [`HorizonQueue`](crate::HorizonQueue) and observes every post,
+/// pop and dirty-flag transition through the `record_*` hooks.
+#[derive(Debug, Clone)]
+pub struct Sanitizer {
+    /// Display names per source id, defining the source count.
+    names: Vec<&'static str>,
+    /// Shadow of the queue's posted horizons; `SimTime::MAX` = none.
+    posted: Vec<SimTime>,
+    /// Per-source dirty-raise sites the protocol forbids.
+    forbidden: Vec<&'static [&'static str]>,
+    /// The source whose horizons must land on memory-clock edges.
+    ctrl_source: Option<usize>,
+    /// The memory-clock period the controller's horizons must align to.
+    mem_period: Duration,
+    trail: VecDeque<TrailEvent>,
+}
+
+impl Sanitizer {
+    /// Creates a sanitizer for `names.len()` sources. `ctrl_source`, if
+    /// given, is held to the memory-edge alignment invariant with period
+    /// `mem_period`.
+    pub fn new(names: &[&'static str], ctrl_source: Option<usize>, mem_period: Duration) -> Self {
+        Sanitizer {
+            names: names.to_vec(),
+            posted: vec![SimTime::MAX; names.len()],
+            forbidden: vec![&[]; names.len()],
+            ctrl_source,
+            mem_period,
+            trail: VecDeque::with_capacity(TRAIL_CAP),
+        }
+    }
+
+    /// Declares the dirty-raise sites `source` must never use.
+    pub fn set_forbidden_sites(&mut self, source: usize, sites: &'static [&'static str]) {
+        self.forbidden[source] = sites;
+    }
+
+    fn record(&mut self, cycle: CoreCycles, now: SimTime, what: String) {
+        if self.trail.len() == TRAIL_CAP {
+            self.trail.pop_front();
+        }
+        self.trail.push_back(TrailEvent { cycle, now, what });
+    }
+
+    fn fmt_due(due: SimTime) -> String {
+        if due == SimTime::MAX {
+            "withdrawn".to_string()
+        } else {
+            format!("{} ps", due.as_ps())
+        }
+    }
+
+    /// Panics with the violation and the recent event trail.
+    fn violation(&self, cycle: CoreCycles, now: SimTime, what: String) -> ! {
+        let mut report = format!(
+            "mellow-san: {what} (at cycle {}, t = {} ps)\n\
+             --- protocol event trail, most recent last ---",
+            cycle.count(),
+            now.as_ps()
+        );
+        if self.trail.is_empty() {
+            report.push_str("\n  (empty)");
+        }
+        for e in &self.trail {
+            report.push_str(&format!(
+                "\n  cycle {:>12} | t {:>14} ps | {}",
+                e.cycle.count(),
+                e.now.as_ps(),
+                e.what
+            ));
+        }
+        panic!("{report}");
+    }
+
+    /// Observes one post (`Some`) or withdraw (`None`) on the real queue.
+    /// Checks the controller-alignment invariant and updates the shadow.
+    pub fn record_post(
+        &mut self,
+        cycle: CoreCycles,
+        now: SimTime,
+        source: usize,
+        due: Option<SimTime>,
+    ) {
+        let name = self.names[source];
+        let shadow = due.unwrap_or(SimTime::MAX);
+        if Some(source) == self.ctrl_source && shadow != SimTime::MAX {
+            let period = self.mem_period.as_ps();
+            if !shadow.as_ps().is_multiple_of(period) {
+                self.violation(
+                    cycle,
+                    now,
+                    format!(
+                        "mem-edge-misaligned controller horizon: `{name}` posted at {} ps, \
+                         which is not a whole {period} ps memory-clock edge",
+                        shadow.as_ps()
+                    ),
+                );
+            }
+        }
+        self.posted[source] = shadow;
+        self.record(
+            cycle,
+            now,
+            format!("post {name} -> {}", Self::fmt_due(shadow)),
+        );
+    }
+
+    /// Observes one pop from the real queue: the popped instant must match
+    /// the source's current posting, or a superseded entry leaked through.
+    pub fn record_pop(&mut self, cycle: CoreCycles, now: SimTime, source: usize, due: SimTime) {
+        let name = self.names[source];
+        if due != self.posted[source] {
+            self.violation(
+                cycle,
+                now,
+                format!(
+                    "stale-generation pop acted on: popped {name} at {} ps but its current \
+                     horizon is {}",
+                    due.as_ps(),
+                    Self::fmt_due(self.posted[source])
+                ),
+            );
+        }
+        self.record(cycle, now, format!("pop  {name} @ {} ps", due.as_ps()));
+    }
+
+    /// Observes one dirty-flag raise, attributed to its raising `site`.
+    pub fn record_dirty(
+        &mut self,
+        cycle: CoreCycles,
+        now: SimTime,
+        source: usize,
+        site: &'static str,
+    ) {
+        let name = self.names[source];
+        if self.forbidden[source].contains(&site) {
+            self.violation(
+                cycle,
+                now,
+                format!(
+                    "dirty flag raised by forbidden site: `{site}` raised {name}'s \
+                     event-dirty flag, but that site cannot move the horizon"
+                ),
+            );
+        }
+        self.record(cycle, now, format!("dirty {name} raised by `{site}`"));
+    }
+
+    /// Checks a *clean* component's current answer against its posted
+    /// horizon: with the dirty flag down, the answer must not be earlier
+    /// than what the kernel believes — otherwise the kernel sleeps past
+    /// real work (a late wake). Conservative-early postings are fine.
+    pub fn check_posted_horizon(
+        &mut self,
+        cycle: CoreCycles,
+        now: SimTime,
+        source: usize,
+        actual: Option<SimTime>,
+    ) {
+        let actual = actual.unwrap_or(SimTime::MAX);
+        if actual < self.posted[source] {
+            let name = self.names[source];
+            self.violation(
+                cycle,
+                now,
+                format!(
+                    "late wake: `{name}` answers next_event = {} ps with its dirty flag down, \
+                     earlier than its posted horizon {} — a mutation moved the horizon \
+                     without raising event_dirty",
+                    actual.as_ps(),
+                    Self::fmt_due(self.posted[source])
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn san() -> Sanitizer {
+        let mut s = Sanitizer::new(&["sample", "l1", "ctrl"], Some(2), Duration::from_ps(2500));
+        s.set_forbidden_sites(1, &["pop_completion"]);
+        s
+    }
+
+    fn t(ps: u64) -> SimTime {
+        SimTime::from_ps(ps)
+    }
+
+    #[test]
+    fn clean_protocol_traffic_passes() {
+        let mut s = san();
+        s.record_post(CoreCycles::ZERO, t(0), 1, Some(t(500)));
+        s.record_dirty(CoreCycles::ONE, t(500), 1, "try_push");
+        s.record_pop(CoreCycles::ONE, t(500), 1, t(500));
+        s.check_posted_horizon(CoreCycles::ONE, t(500), 1, Some(t(500)));
+        s.record_post(CoreCycles::ONE, t(500), 1, None);
+        s.record_post(CoreCycles::ONE, t(500), 2, Some(t(5000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "late wake")]
+    fn late_wake_fires() {
+        let mut s = san();
+        s.record_post(CoreCycles::ZERO, t(0), 1, Some(t(1000)));
+        s.check_posted_horizon(CoreCycles::ONE, t(500), 1, Some(t(900)));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale-generation pop")]
+    fn stale_pop_fires() {
+        let mut s = san();
+        s.record_post(CoreCycles::ZERO, t(0), 1, Some(t(1000)));
+        s.record_post(CoreCycles::ZERO, t(0), 1, Some(t(700)));
+        s.record_pop(CoreCycles::ONE, t(500), 1, t(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "forbidden site")]
+    fn forbidden_dirty_site_fires() {
+        let mut s = san();
+        s.record_dirty(CoreCycles::ZERO, t(0), 1, "pop_completion");
+    }
+
+    #[test]
+    #[should_panic(expected = "mem-edge-misaligned")]
+    fn misaligned_ctrl_horizon_fires() {
+        let mut s = san();
+        s.record_post(CoreCycles::ZERO, t(0), 2, Some(t(2501)));
+    }
+
+    #[test]
+    fn conservative_early_posting_passes() {
+        // The kernel waking early and re-checking is always safe; only
+        // an *earlier* actual horizon than the posted one is a bug.
+        let mut s = san();
+        s.record_post(CoreCycles::ZERO, t(0), 1, Some(t(500)));
+        s.check_posted_horizon(CoreCycles::ONE, t(500), 1, Some(t(1000)));
+        s.check_posted_horizon(CoreCycles::ONE, t(500), 1, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "late wake")]
+    fn work_behind_a_withdrawn_horizon_is_a_late_wake() {
+        let mut s = san();
+        s.record_post(CoreCycles::ZERO, t(0), 1, None);
+        s.check_posted_horizon(CoreCycles::ONE, t(500), 1, Some(t(42)));
+    }
+}

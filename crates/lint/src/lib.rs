@@ -1,11 +1,12 @@
 //! `mellow-lint` — the workspace's offline static-analysis pass.
 //!
 //! The simulator's headline guarantees (bit-identical replay of every
-//! experiment, a single blessed crossing point between clock domains) are
-//! properties no unit test can protect forever: one `as u64` or one
-//! `HashMap` iteration in a future patch silently re-introduces the bug
+//! experiment, a single blessed crossing point between clock domains, the
+//! event kernel's dirty-flag protocol) are properties no unit test can
+//! protect forever: one `as u64`, one `HashMap` iteration or one forgotten
+//! `event_dirty` raise in a future patch silently re-introduces the bug
 //! class. This crate walks every workspace `.rs` file with a hand-rolled
-//! lexer and enforces four rules (see [`rules`]):
+//! lexer and enforces seven rules (see [`rules`]):
 //!
 //! | rule | name | enforces |
 //! |------|------|----------|
@@ -13,8 +14,12 @@
 //! | L2 | `determinism` | no hash-order iteration or wall clocks in simulation crates |
 //! | L3 | `panic-policy` | no `.unwrap()` / `.expect("")` in non-test library code |
 //! | L4 | `stats-exhaustiveness` | every `*Stats` field has an accumulate *and* a report site |
+//! | L5 | `horizon-protocol` | hot-state mutators raise `event_dirty`; pure observers never touch dirty/post APIs |
+//! | L6 | `rng-discipline` | `DetRng` streams come from named derivation constructors; no clones, `skip` only in span replay |
+//! | L7 | `horizon-source-exhaustiveness` | every `*Source` horizon variant has a post site and a pop-dispatch arm |
 //!
-//! Violations are diffed against a committed [`baseline`]
+//! The rules are trait objects in a [`rules::registry`] sharing one lexing
+//! pass per file. Violations are diffed against a committed [`baseline`]
 //! (`lint-baseline.toml`); only *new* violations — or stale baseline
 //! entries — fail the build, so the baseline can only shrink over time.
 //!
@@ -27,7 +32,7 @@ pub mod runner;
 
 use std::fmt;
 
-/// The four rules, in severity-of-surprise order.
+/// The seven rules, in severity-of-surprise order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// L1: clock-domain discipline.
@@ -38,6 +43,13 @@ pub enum Rule {
     PanicPolicy,
     /// L4: every stats counter is accumulated and reported.
     StatsExhaustiveness,
+    /// L5: the event-dirty protocol — mutators raise the flag, observers
+    /// never touch dirty/post APIs.
+    HorizonProtocol,
+    /// L6: `DetRng` stream construction, cloning and skipping discipline.
+    RngDiscipline,
+    /// L7: every horizon-source variant has a post site and a dispatch arm.
+    HorizonSourceExhaustiveness,
 }
 
 impl Rule {
@@ -48,26 +60,26 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::PanicPolicy => "panic-policy",
             Rule::StatsExhaustiveness => "stats-exhaustiveness",
+            Rule::HorizonProtocol => "horizon-protocol",
+            Rule::RngDiscipline => "rng-discipline",
+            Rule::HorizonSourceExhaustiveness => "horizon-source-exhaustiveness",
         }
     }
 
     /// Inverse of [`Rule::name`].
     pub fn from_name(name: &str) -> Option<Rule> {
-        match name {
-            "clock-domain" => Some(Rule::ClockDomain),
-            "determinism" => Some(Rule::Determinism),
-            "panic-policy" => Some(Rule::PanicPolicy),
-            "stats-exhaustiveness" => Some(Rule::StatsExhaustiveness),
-            _ => None,
-        }
+        Rule::ALL.into_iter().find(|r| r.name() == name)
     }
 
     /// All rules, for iteration in reports.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 7] = [
         Rule::ClockDomain,
         Rule::Determinism,
         Rule::PanicPolicy,
         Rule::StatsExhaustiveness,
+        Rule::HorizonProtocol,
+        Rule::RngDiscipline,
+        Rule::HorizonSourceExhaustiveness,
     ];
 }
 
@@ -100,27 +112,26 @@ impl fmt::Display for Violation {
 /// Lints a single source text as if it lived at `rel_path` inside the
 /// workspace. Rule scoping (which crates each rule applies to, the
 /// `time.rs`/`clock.rs` exemption, test-file paths) follows the same logic
-/// as the workspace runner. The L4 reference check only sees this one file.
+/// as the workspace runner. Cross-file checks (L4, L7) only see this one
+/// file.
 ///
 /// This is the entry point the fixture tests drive.
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
     let scope = runner::classify(rel_path);
     let lx = lexer::lex(src);
     let excluded = rules::test_spans(&lx.toks);
+    let ctx = rules::FileCtx {
+        path: rel_path,
+        scope,
+        lx: &lx,
+        excluded: &excluded,
+    };
     let mut out = Vec::new();
-    if scope.check_clock_domain {
-        out.extend(rules::check_clock_domain(rel_path, &lx, &excluded));
-    }
-    if scope.check_determinism {
-        out.extend(rules::check_determinism(rel_path, &lx, &excluded));
-    }
-    if scope.check_panic_policy {
-        out.extend(rules::check_panic_policy(rel_path, &lx, &excluded));
-    }
-    if scope.check_stats {
-        let structs = rules::collect_stats_structs(rel_path, &lx, &excluded);
-        let idents = vec![(rel_path.to_string(), rules::collect_idents(&lx, &excluded))];
-        out.extend(rules::check_stats_exhaustive(&structs, &idents));
+    for rule in &mut rules::registry() {
+        if rule.applies(&scope) {
+            out.extend(rule.check_file(&ctx));
+        }
+        out.extend(rule.finish());
     }
     out.sort();
     out

@@ -18,8 +18,24 @@ OPTIONS:
     --baseline <FILE>   Baseline path (default: <root>/lint-baseline.toml)
     --write-baseline    Rewrite the baseline to cover current violations
     --list              Print every violation, including baselined ones
+    --format <FMT>      Output format: text (default), json, or github
+                        (GitHub Actions `::error` annotations)
     -h, --help          Show this help
 ";
+
+/// How violations are rendered on stdout.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    /// Human-readable lines plus a summary (the default).
+    Text,
+    /// One JSON document with every violation, the baseline diff, and
+    /// per-rule counts — for tooling that ingests the whole report.
+    Json,
+    /// GitHub Actions workflow commands: one `::error` annotation per
+    /// fresh violation or stale baseline entry, so CI failures land as
+    /// inline PR annotations.
+    Github,
+}
 
 /// Finds the workspace root: the nearest ancestor of `start` whose
 /// `Cargo.toml` declares `[workspace]`, falling back to this crate's
@@ -43,6 +59,7 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline = false;
     let mut list = false;
+    let mut format = Format::Text;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,6 +80,19 @@ fn main() -> ExitCode {
             },
             "--write-baseline" => write_baseline = true,
             "--list" => list = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                Some(other) => {
+                    eprintln!("--format must be text, json, or github, got `{other}`\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--format requires a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -110,6 +140,23 @@ fn main() -> ExitCode {
     };
     let report = runner::diff(all, &baseline);
 
+    match format {
+        Format::Text => print_text(&report, list),
+        Format::Json => print_json(&report),
+        Format::Github => print_github(&report),
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// The default human-readable report: each fresh violation (plus every
+/// baselined one under `--list`), stale baseline entries, and a
+/// per-rule summary line.
+fn print_text(report: &runner::Report, list: bool) {
     if list {
         for v in &report.all {
             println!("{v}");
@@ -137,10 +184,104 @@ fn main() -> ExitCode {
         report.stale.len(),
         if report.stale.len() == 1 { "y" } else { "ies" },
     );
+}
 
-    if report.is_clean() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
+/// Escapes a string for a JSON string literal (the lint crate is
+/// dependency-free, so the document is rendered by hand).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One JSON document on stdout with every violation (`baselined`
+/// marking the suppressed ones), stale baseline entries, per-rule
+/// counts, and the overall verdict.
+fn print_json(report: &runner::Report) {
+    let fresh: std::collections::HashSet<(&str, u32, &str)> = report
+        .fresh
+        .iter()
+        .map(|v| (v.file.as_str(), v.line, v.rule.name()))
+        .collect();
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, v) in report.all.iter().enumerate() {
+        let baselined = !fresh.contains(&(v.file.as_str(), v.line, v.rule.name()));
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+             \"baselined\": {}}}",
+            v.rule.name(),
+            json_escape(&v.file),
+            v.line,
+            json_escape(&v.message),
+            baselined
+        ));
+    }
+    out.push_str("\n  ],\n  \"stale_baseline\": [");
+    for (i, e) in report.stale.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+            json_escape(&e.rule),
+            json_escape(&e.file),
+            e.line
+        ));
+    }
+    out.push_str("\n  ],\n  \"counts\": {");
+    for (i, (r, n)) in runner::counts(&report.all).iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    \"{}\": {n}", r.name()));
+    }
+    out.push_str(&format!("\n  }},\n  \"clean\": {}\n}}", report.is_clean()));
+    println!("{out}");
+}
+
+/// Escapes the free-text (message) part of a GitHub Actions workflow
+/// command.
+fn github_escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a property value (file, title) of a GitHub Actions workflow
+/// command, which additionally reserves `,` and `:`.
+fn github_escape_prop(s: &str) -> String {
+    github_escape_data(s)
+        .replace(',', "%2C")
+        .replace(':', "%3A")
+}
+
+/// GitHub Actions annotations: one `::error` per fresh violation and
+/// per stale baseline entry, so a failing CI lint step surfaces inline
+/// on the PR diff. Baselined violations are intentionally silent.
+fn print_github(report: &runner::Report) {
+    for v in &report.fresh {
+        println!(
+            "::error file={},line={},title=mellow-lint {}::{}",
+            github_escape_prop(&v.file),
+            v.line,
+            github_escape_prop(v.rule.name()),
+            github_escape_data(&v.message)
+        );
+    }
+    for e in &report.stale {
+        println!(
+            "::error file={},line={},title=mellow-lint baseline::stale entry for rule `{}` — \
+             violation no longer fires, remove it from lint-baseline.toml",
+            github_escape_prop(&e.file),
+            e.line,
+            github_escape_data(&e.rule)
+        );
     }
 }

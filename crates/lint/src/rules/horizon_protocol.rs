@@ -1,0 +1,243 @@
+//! L5 — the event-dirty protocol, mechanized.
+//!
+//! The event kernel (DESIGN.md §12) is only correct if every component
+//! method that can move the component's `next_event(..)` horizon also
+//! raises its `event_dirty` flag, and if the pure observers the kernel
+//! polls between events never mutate. This rule applies to files that
+//! declare an `event_dirty: bool` field and checks both directions:
+//!
+//! - every `pub fn (&mut self, ..)` whose body writes hot simulation
+//!   state (`self.field = ..`, compound assigns, or a mutating container
+//!   call) must mention `event_dirty`/`raise_dirty` somewhere in its body,
+//!   or carry a `// mellow-lint: allow(horizon-protocol) -- why` waiver
+//!   documenting why the mutation cannot move the horizon;
+//! - observers (`next_event`, `peek*`, `stats`/`*_stats` accessors) must
+//!   take `&self` and must never touch dirty or post/withdraw APIs.
+//!
+//! Stats and energy accounting are exempt from the mutator check: bumping
+//! a counter never moves the horizon.
+
+use super::common::fn_items;
+use super::{FileCtx, LintRule};
+use crate::lexer::{allowed, Lexed, Tok, TokKind};
+use crate::runner::Scope;
+use crate::{Rule, Violation};
+
+/// Container/queue methods that mutate their receiver.
+const MUTATING_CALLS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "pop",
+    "pop_front",
+    "pop_back",
+    "insert",
+    "remove",
+    "clear",
+    "drain",
+    "schedule",
+    "post",
+    "withdraw",
+];
+
+/// Body identifiers that prove the method participates in the dirty
+/// protocol (raises the flag directly or through the sanitizer hook).
+const DIRTY_IDENTS: &[&str] = &["event_dirty", "raise_dirty"];
+
+/// Identifiers an observer must never touch.
+const OBSERVER_FORBIDDEN: &[&str] = &["event_dirty", "withdraw", "repost"];
+
+/// Does this file declare the flag the protocol revolves around?
+fn declares_event_dirty(toks: &[Tok]) -> bool {
+    toks.windows(3).any(|w| {
+        w[0].kind == TokKind::Ident
+            && w[0].text == "event_dirty"
+            && w[1].text == ":"
+            && w[2].text == "bool"
+    })
+}
+
+/// Is this method one of the protocol's pure observers?
+fn is_observer(name: &str) -> bool {
+    name == "next_event"
+        || name.starts_with("peek")
+        || ((name == "stats" || name.ends_with("_stats"))
+            && !name.starts_with("reset_")
+            && !name.starts_with("take_"))
+}
+
+/// Walks a `self.a.b[i].c`-style chain starting at the `self` token.
+/// Returns `(fields, end)`: the field/method idents in order and the index
+/// of the first token after the chain.
+fn walk_self_chain(toks: &[Tok], self_idx: usize) -> (Vec<String>, usize) {
+    let n = toks.len();
+    let mut fields = Vec::new();
+    let mut j = self_idx; // index of the last chain segment token
+    loop {
+        // Skip any index groups attached to the current segment.
+        let mut k = j + 1;
+        while k < n && toks[k].text == "[" {
+            let mut depth = 0usize;
+            while k < n {
+                match toks[k].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        if k < n && toks[k].text == "." && k + 1 < n && toks[k + 1].kind == TokKind::Ident {
+            fields.push(toks[k + 1].text.clone());
+            j = k + 1;
+        } else {
+            return (fields, k);
+        }
+    }
+}
+
+/// Classifies the token(s) right after a `self.` chain as a mutation.
+/// Returns a short description of the mutation kind, if any.
+///
+/// The lexer only merges `::`/`->`/`=>`, so `==` arrives as `=`,`=` and
+/// `+=` as `+`,`=`; comparisons (`<=`, `>=`, `==`, `!=`) must not count.
+fn mutation_kind(toks: &[Tok], end: usize, fields: &[String]) -> Option<&'static str> {
+    let n = toks.len();
+    if end >= n {
+        return None;
+    }
+    let t = toks[end].text.as_str();
+    let next = toks.get(end + 1).map(|t| t.text.as_str());
+    match t {
+        // Plain assignment — but `=`,`=` is an equality comparison.
+        "=" if next != Some("=") => Some("assignment"),
+        // Compound assignment: `+=`, `-=`, `*=`, `/=`, `%=`, `^=`, `&=`, `|=`.
+        "+" | "-" | "*" | "/" | "%" | "^" | "&" | "|" if next == Some("=") => {
+            Some("compound assignment")
+        }
+        // Shift-assign `<<=`/`>>=`; a single `<`/`>` before `=` is `<=`/`>=`.
+        "<" | ">" if next == Some(t) && toks.get(end + 2).map(|t| t.text.as_str()) == Some("=") => {
+            Some("compound assignment")
+        }
+        // A mutating container/queue call as the last chain segment.
+        "(" => {
+            let last = fields.last().map(String::as_str).unwrap_or("");
+            if MUTATING_CALLS.contains(&last) {
+                Some("mutating call")
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+pub struct HorizonProtocol;
+
+impl LintRule for HorizonProtocol {
+    fn rule(&self) -> Rule {
+        Rule::HorizonProtocol
+    }
+
+    fn applies(&self, scope: &Scope) -> bool {
+        scope.check_horizon_protocol
+    }
+
+    fn check_file(&mut self, ctx: &FileCtx<'_>) -> Vec<Violation> {
+        check(ctx.path, ctx.lx, ctx.excluded)
+    }
+}
+
+fn check(file: &str, lx: &Lexed, excluded: &[bool]) -> Vec<Violation> {
+    let toks = &lx.toks;
+    if !declares_event_dirty(toks) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for item in fn_items(toks) {
+        let (open, close) = item.body;
+        if open == close || excluded.get(open).copied().unwrap_or(true) {
+            continue; // body-less signature or test code
+        }
+        let body = &toks[open..=close];
+        let body_has = |pred: &dyn Fn(&str) -> bool| {
+            body.iter()
+                .any(|t| t.kind == TokKind::Ident && pred(&t.text))
+        };
+
+        if is_observer(&item.name) {
+            if item.takes_mut_self {
+                out.push(Violation {
+                    rule: Rule::HorizonProtocol,
+                    file: file.to_string(),
+                    line: item.line,
+                    message: format!(
+                        "observer `{}` takes `&mut self`; kernel-polled observers must be pure",
+                        item.name
+                    ),
+                });
+            }
+            if body_has(&|s| {
+                OBSERVER_FORBIDDEN.contains(&s) || (s.starts_with("post") && s != "posted")
+            }) {
+                out.push(Violation {
+                    rule: Rule::HorizonProtocol,
+                    file: file.to_string(),
+                    line: item.line,
+                    message: format!(
+                        "observer `{}` touches dirty/post APIs; observers must never \
+                         mutate horizon state",
+                        item.name
+                    ),
+                });
+            }
+            continue;
+        }
+
+        if !(item.is_pub && item.takes_mut_self) {
+            continue;
+        }
+        // Find the first hot-state mutation in the body.
+        let mut mutation: Option<(String, &'static str)> = None;
+        let mut i = open;
+        while i <= close {
+            if toks[i].kind == TokKind::Ident && toks[i].text == "self" && !excluded[i] {
+                let (fields, end) = walk_self_chain(toks, i);
+                if let Some(first) = fields.first() {
+                    // Stats/energy accounting never moves the horizon.
+                    if !(first.contains("stats") || first == "energy") {
+                        if let Some(kind) = mutation_kind(toks, end, &fields) {
+                            mutation = Some((format!("self.{}", fields.join(".")), kind));
+                            break;
+                        }
+                    }
+                }
+                i = end;
+                continue;
+            }
+            i += 1;
+        }
+        if let Some((chain, kind)) = mutation {
+            let participates = body_has(&|s| DIRTY_IDENTS.contains(&s));
+            if !participates && !allowed(&lx.allows, Rule::HorizonProtocol.name(), item.line) {
+                out.push(Violation {
+                    rule: Rule::HorizonProtocol,
+                    file: file.to_string(),
+                    line: item.line,
+                    message: format!(
+                        "`{}` mutates hot state ({} to `{}`) without raising `event_dirty`; \
+                         raise the flag or waive with a reason",
+                        item.name, kind, chain
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

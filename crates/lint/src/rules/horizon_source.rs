@@ -1,0 +1,235 @@
+//! L7 — horizon-source exhaustiveness.
+//!
+//! The event kernel's horizon queue is indexed by a `*Source` enum; a
+//! variant that is declared but never posted is a component the kernel
+//! will never wake, and a variant with no pop-dispatch arm is a wake the
+//! kernel drops on the floor. Both are silent liveness bugs — the
+//! simulation still runs, just with the wrong schedule.
+//!
+//! This is a cross-file rule: declarations of `enum *Source` and their
+//! usage sites (`Source::Variant`) are accumulated across the simulation
+//! crates, then every declared variant is checked for at least one post
+//! site (a statement that also mentions a `post*`/`withdraw`/`repost`
+//! call) and at least one pop-dispatch arm (a match pattern reaching
+//! `=>`).
+
+use super::{FileCtx, LintRule};
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::runner::Scope;
+use crate::{Rule, Violation};
+
+/// One declared `enum *Source` variant.
+struct VariantDecl {
+    enum_name: String,
+    variant: String,
+    file: String,
+    line: u32,
+}
+
+/// Collects `enum FooSource { A, B, .. }` variant declarations. Variants
+/// with payloads or discriminants still count (the name token is what the
+/// usage scan matches on); attributes between variants are skipped.
+fn collect_decls(file: &str, lx: &Lexed, excluded: &[bool], out: &mut Vec<VariantDecl>) {
+    let toks = &lx.toks;
+    let n = toks.len();
+    let mut i = 0usize;
+    while i < n {
+        if excluded[i] || toks[i].kind != TokKind::Ident || toks[i].text != "enum" {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokKind::Ident || !name_tok.text.ends_with("Source") {
+            i += 1;
+            continue;
+        }
+        // Find the body, then walk depth-1 idents that open a variant.
+        let mut j = i + 2;
+        while j < n && toks[j].text != "{" {
+            j += 1;
+        }
+        let mut depth = 0i32;
+        let mut expect_variant = true;
+        while j < n {
+            let text = toks[j].text.as_str();
+            // Skip attributes wholesale; they don't affect variant position.
+            if depth == 1 && text == "#" && j + 1 < n && toks[j + 1].text == "[" {
+                let mut d = 0i32;
+                j += 1;
+                while j < n {
+                    match toks[j].text.as_str() {
+                        "[" => d += 1,
+                        "]" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j += 1;
+                continue;
+            }
+            match text {
+                "{" | "(" | "[" => {
+                    depth += 1;
+                    if depth > 1 {
+                        expect_variant = false;
+                    }
+                }
+                "}" | ")" | "]" => {
+                    depth -= 1;
+                    if depth == 0 && text == "}" {
+                        break;
+                    }
+                }
+                "," if depth == 1 => expect_variant = true,
+                _ => {
+                    if depth == 1 && expect_variant && toks[j].kind == TokKind::Ident {
+                        out.push(VariantDecl {
+                            enum_name: name_tok.text.clone(),
+                            variant: toks[j].text.clone(),
+                            file: file.to_string(),
+                            line: toks[j].line,
+                        });
+                        expect_variant = false;
+                    }
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// Does the occurrence at token `v` (a `Enum::Variant` variant token) sit
+/// inside a match pattern — i.e. does a forward scan over pattern-shaped
+/// tokens (`|` alternations, further `Enum::Variant` paths) reach `=>`?
+fn is_dispatch_arm(toks: &[Tok], v: usize) -> bool {
+    let n = toks.len();
+    let mut j = v + 1;
+    while j < n && j < v + 24 {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "=>" => return true,
+            "|" | "::" => {}
+            _ if t.kind == TokKind::Ident => {}
+            _ => return false,
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Does the statement around token `v` also post/withdraw/repost a
+/// horizon? The window is the enclosing statement, clipped to ±30 tokens.
+fn is_post_site(toks: &[Tok], v: usize) -> bool {
+    let n = toks.len();
+    let lo = v.saturating_sub(30);
+    let hi = (v + 30).min(n);
+    let stmt_break = |t: &Tok| matches!(t.text.as_str(), ";" | "{" | "}");
+    let mut start = v;
+    while start > lo && !stmt_break(&toks[start - 1]) {
+        start -= 1;
+    }
+    let mut end = v;
+    while end + 1 < hi && !stmt_break(&toks[end]) {
+        end += 1;
+    }
+    toks[start..end].iter().any(|t| {
+        t.kind == TokKind::Ident
+            && (t.text == "withdraw" || t.text == "repost" || t.text.starts_with("post"))
+    })
+}
+
+/// The registry pass: accumulates declarations and classified usage sites
+/// per file, then reports uncovered variants from [`LintRule::finish`].
+#[derive(Default)]
+pub struct HorizonSourceExhaustiveness {
+    decls: Vec<VariantDecl>,
+    /// `(enum, variant)` pairs seen at a post site.
+    posted: Vec<(String, String)>,
+    /// `(enum, variant)` pairs seen in a match-dispatch arm.
+    dispatched: Vec<(String, String)>,
+}
+
+impl LintRule for HorizonSourceExhaustiveness {
+    fn rule(&self) -> Rule {
+        Rule::HorizonSourceExhaustiveness
+    }
+
+    fn applies(&self, scope: &Scope) -> bool {
+        scope.check_horizon_source
+    }
+
+    fn check_file(&mut self, ctx: &FileCtx<'_>) -> Vec<Violation> {
+        let toks = &ctx.lx.toks;
+        let n = toks.len();
+        collect_decls(ctx.path, ctx.lx, ctx.excluded, &mut self.decls);
+        for i in 0..n {
+            if ctx.excluded[i]
+                || toks[i].kind != TokKind::Ident
+                || !toks[i].text.ends_with("Source")
+            {
+                continue;
+            }
+            // `Enum::Variant` usage outside the declaration itself.
+            if i + 2 < n
+                && toks[i + 1].text == "::"
+                && toks[i + 2].kind == TokKind::Ident
+                && toks[i + 2]
+                    .text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_uppercase())
+            {
+                let key = (toks[i].text.clone(), toks[i + 2].text.clone());
+                if is_dispatch_arm(toks, i + 2) {
+                    self.dispatched.push(key);
+                } else if is_post_site(toks, i + 2) {
+                    self.posted.push(key);
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn finish(&mut self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for d in &self.decls {
+            let key = (d.enum_name.clone(), d.variant.clone());
+            if !self.posted.contains(&key) {
+                out.push(Violation {
+                    rule: Rule::HorizonSourceExhaustiveness,
+                    file: d.file.clone(),
+                    line: d.line,
+                    message: format!(
+                        "horizon source `{}::{}` has no post site; a declared source \
+                         the kernel never posts is a component that never wakes",
+                        d.enum_name, d.variant
+                    ),
+                });
+            }
+            if !self.dispatched.contains(&key) {
+                out.push(Violation {
+                    rule: Rule::HorizonSourceExhaustiveness,
+                    file: d.file.clone(),
+                    line: d.line,
+                    message: format!(
+                        "horizon source `{}::{}` has no pop-dispatch arm; a wake with \
+                         no dispatch is dropped on the floor",
+                        d.enum_name, d.variant
+                    ),
+                });
+            }
+        }
+        self.decls.clear();
+        self.posted.clear();
+        self.dispatched.clear();
+        out
+    }
+}

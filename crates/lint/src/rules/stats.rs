@@ -1,0 +1,198 @@
+//! L4 — stats exhaustiveness: every `*Stats` field must be referenced at
+//! least twice outside its declaration — once to accumulate and once to
+//! report/merge. A counter that is bumped but never read (or declared and
+//! never bumped) is dead telemetry.
+
+use super::common::collect_idents;
+use super::{FileCtx, LintRule};
+use crate::lexer::{Lexed, TokKind};
+use crate::runner::Scope;
+use crate::{Rule, Violation};
+
+/// A `*Stats` struct declaration found in a file: name, field names with
+/// their lines, and the token/line span of the declaration itself.
+#[derive(Debug, Clone)]
+pub struct StatsStruct {
+    pub file: String,
+    pub name: String,
+    pub fields: Vec<(String, u32)>,
+    pub start_line: u32,
+    pub end_line: u32,
+}
+
+/// Collects every non-test `struct FooStats { ... }` declaration.
+pub fn collect_stats_structs(file: &str, lx: &Lexed, excluded: &[bool]) -> Vec<StatsStruct> {
+    let toks = &lx.toks;
+    let n = toks.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        if excluded[i] || toks[i].text != "struct" || toks[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokKind::Ident || !name_tok.text.ends_with("Stats") {
+            i += 1;
+            continue;
+        }
+        // Find the body open brace (skip generics; bail on tuple/unit structs).
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        while j < n {
+            match toks[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" if angle == 0 => break,
+                "(" | ";" if angle == 0 => {
+                    j = n; // tuple or unit struct: no named fields to check
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= n {
+            i += 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        let mut fields: Vec<(String, u32)> = Vec::new();
+        let mut depth = 0usize;
+        let mut k = j;
+        let mut end_line = start_line;
+        while k < n {
+            match toks[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = toks[k].line;
+                        break;
+                    }
+                }
+                "#" if depth == 1 && k + 1 < n && toks[k + 1].text == "[" => {
+                    // Skip field attributes.
+                    let mut d = 0usize;
+                    k += 1;
+                    while k < n {
+                        match toks[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                _ => {
+                    // A field is `ident :` at depth 1, where the previous
+                    // significant token is `{`, `,` or `)` (end of pub(crate)).
+                    if depth == 1
+                        && toks[k].kind == TokKind::Ident
+                        && k + 1 < n
+                        && toks[k + 1].text == ":"
+                        && k >= 1
+                        && matches!(toks[k - 1].text.as_str(), "{" | "," | ")" | "pub")
+                    {
+                        fields.push((toks[k].text.clone(), toks[k].line));
+                    }
+                }
+            }
+            k += 1;
+        }
+        out.push(StatsStruct {
+            file: file.to_string(),
+            name: name_tok.text.clone(),
+            fields,
+            start_line,
+            end_line,
+        });
+        i = k + 1;
+    }
+    out
+}
+
+/// The registry pass: accumulates `*Stats` declarations and identifier
+/// occurrences per file, then checks reference counts in
+/// [`LintRule::finish`].
+#[derive(Default)]
+pub struct StatsExhaustiveness {
+    structs: Vec<StatsStruct>,
+    idents: Vec<(String, Vec<(String, u32)>)>,
+}
+
+impl LintRule for StatsExhaustiveness {
+    fn rule(&self) -> Rule {
+        Rule::StatsExhaustiveness
+    }
+
+    fn applies(&self, scope: &Scope) -> bool {
+        scope.check_stats || scope.collect_idents
+    }
+
+    fn check_file(&mut self, ctx: &FileCtx<'_>) -> Vec<Violation> {
+        if ctx.scope.check_stats {
+            self.structs
+                .extend(collect_stats_structs(ctx.path, ctx.lx, ctx.excluded));
+        }
+        if ctx.scope.collect_idents {
+            self.idents
+                .push((ctx.path.to_string(), collect_idents(ctx.lx, ctx.excluded)));
+        }
+        Vec::new()
+    }
+
+    fn finish(&mut self) -> Vec<Violation> {
+        let out = check_exhaustive(&self.structs, &self.idents);
+        self.structs.clear();
+        self.idents.clear();
+        out
+    }
+}
+
+/// The reference check: `idents` maps a file path to its non-test
+/// identifier occurrences; declarations themselves are excluded by line
+/// span.
+fn check_exhaustive(
+    structs: &[StatsStruct],
+    idents: &[(String, Vec<(String, u32)>)],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for s in structs {
+        for (field, line) in &s.fields {
+            let uses: usize = idents
+                .iter()
+                .map(|(file, occs)| {
+                    occs.iter()
+                        .filter(|(name, occ_line)| {
+                            name == field
+                                && !(file == &s.file
+                                    && *occ_line >= s.start_line
+                                    && *occ_line <= s.end_line)
+                        })
+                        .count()
+                })
+                .sum();
+            if uses < 2 {
+                out.push(Violation {
+                    rule: Rule::StatsExhaustiveness,
+                    file: s.file.clone(),
+                    line: *line,
+                    message: format!(
+                        "stats field `{}.{}` is referenced {} time(s) outside its declaration; \
+                         every counter needs both an accumulation and a report/merge site",
+                        s.name, field, uses
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

@@ -29,6 +29,14 @@ const SIM_CRATES: &[&str] = &[
 /// cycle counts, clock periods and picoseconds convert into each other.
 const CLOCK_DOMAIN_EXEMPT: &[&str] = &["crates/engine/src/time.rs", "crates/engine/src/clock.rs"];
 
+/// Crates whose components carry `event_dirty` flags or consume them — the
+/// scope of the horizon-protocol rule.
+const HORIZON_CRATES: &[&str] = &["cache", "memctrl", "sim"];
+
+/// The one file allowed to construct rngs from raw seeds: the `DetRng`
+/// implementation itself.
+const RNG_DISCIPLINE_EXEMPT: &[&str] = &["crates/engine/src/rng.rs"];
+
 /// Which rules apply to a given file.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Scope {
@@ -38,6 +46,23 @@ pub struct Scope {
     pub check_stats: bool,
     /// Whether this file's identifiers count as references for L4.
     pub collect_idents: bool,
+    pub check_horizon_protocol: bool,
+    pub check_rng_discipline: bool,
+    pub check_horizon_source: bool,
+}
+
+impl Scope {
+    /// Whether any rule wants this file at all.
+    pub fn any(&self) -> bool {
+        self.check_clock_domain
+            || self.check_determinism
+            || self.check_panic_policy
+            || self.check_stats
+            || self.collect_idents
+            || self.check_horizon_protocol
+            || self.check_rng_discipline
+            || self.check_horizon_source
+    }
 }
 
 /// Classifies a workspace-relative path (with `/` separators) into the rules
@@ -64,6 +89,9 @@ pub fn classify(rel_path: &str) -> Scope {
         check_panic_policy: sim,
         check_stats: true,
         collect_idents: true,
+        check_horizon_protocol: HORIZON_CRATES.contains(&crate_dir),
+        check_rng_discipline: sim && !RNG_DISCIPLINE_EXEMPT.contains(&rel_path),
+        check_horizon_source: sim,
     }
 }
 
@@ -101,43 +129,38 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
     Ok(out)
 }
 
-/// Runs every rule over the workspace and returns the sorted violation list.
+/// Runs the full rule registry over the workspace and returns the sorted
+/// violation list. Each file is read and lexed exactly once; every rule
+/// whose scope matches sees the same token stream, and cross-file rules
+/// emit from their `finish` hook after the walk.
 pub fn collect_violations(root: &Path) -> io::Result<Vec<Violation>> {
     let files = workspace_files(root)?;
+    let mut registry = rules::registry();
     let mut violations: Vec<Violation> = Vec::new();
-    let mut stats_structs: Vec<rules::StatsStruct> = Vec::new();
-    let mut idents: Vec<(String, Vec<(String, u32)>)> = Vec::new();
 
     for rel in &files {
         let scope = classify(rel);
-        if !scope.check_clock_domain
-            && !scope.check_determinism
-            && !scope.check_panic_policy
-            && !scope.check_stats
-            && !scope.collect_idents
-        {
+        if !scope.any() {
             continue;
         }
         let src = fs::read_to_string(root.join(rel))?;
         let lx = lexer::lex(&src);
         let excluded = rules::test_spans(&lx.toks);
-        if scope.check_clock_domain {
-            violations.extend(rules::check_clock_domain(rel, &lx, &excluded));
-        }
-        if scope.check_determinism {
-            violations.extend(rules::check_determinism(rel, &lx, &excluded));
-        }
-        if scope.check_panic_policy {
-            violations.extend(rules::check_panic_policy(rel, &lx, &excluded));
-        }
-        if scope.check_stats {
-            stats_structs.extend(rules::collect_stats_structs(rel, &lx, &excluded));
-        }
-        if scope.collect_idents {
-            idents.push((rel.clone(), rules::collect_idents(&lx, &excluded)));
+        let ctx = rules::FileCtx {
+            path: rel,
+            scope,
+            lx: &lx,
+            excluded: &excluded,
+        };
+        for rule in &mut registry {
+            if rule.applies(&scope) {
+                violations.extend(rule.check_file(&ctx));
+            }
         }
     }
-    violations.extend(rules::check_stats_exhaustive(&stats_structs, &idents));
+    for rule in &mut registry {
+        violations.extend(rule.finish());
+    }
     violations.sort();
     violations.dedup();
     Ok(violations)
@@ -207,6 +230,6 @@ pub fn baseline_for(violations: &[Violation]) -> Baseline {
 }
 
 /// Per-rule counts for the summary line, in [`Rule::ALL`] order.
-pub fn counts(violations: &[Violation]) -> [(Rule, usize); 4] {
+pub fn counts(violations: &[Violation]) -> [(Rule, usize); 7] {
     Rule::ALL.map(|r| (r, violations.iter().filter(|v| v.rule == r).count()))
 }

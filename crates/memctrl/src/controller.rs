@@ -349,6 +349,10 @@ pub struct Controller {
     /// may have changed; the event kernel re-queries the horizon only
     /// when [`take_event_dirty`](Self::take_event_dirty) reports it.
     event_dirty: bool,
+    /// Sites that raised the flag since the kernel last drained them;
+    /// consumed by the sanitizer for forbidden-site attribution.
+    #[cfg(feature = "sanitize")]
+    dirty_sites: Vec<&'static str>,
 }
 
 impl Controller {
@@ -410,6 +414,8 @@ impl Controller {
             rr_start: 0,
             next_actionable: SimTime::ZERO,
             event_dirty: true,
+            #[cfg(feature = "sanitize")]
+            dirty_sites: Vec::new(),
             policy,
             endurance,
             cancel_wear,
@@ -419,6 +425,7 @@ impl Controller {
 
     /// Enables per-block wear tracking (small configurations only: the
     /// table holds one `f64` per memory block).
+    // mellow-lint: allow(horizon-protocol) -- setup-time rebuild (asserts zero wear); the ledger never feeds next_event
     pub fn enable_block_tracking(&mut self) {
         // The leveler's full physical space (e.g. Start-Gap's gap spare).
         let blocks = self.leveler.physical_blocks_per_bank();
@@ -487,7 +494,7 @@ impl Controller {
                 .record(end.saturating_since(now).as_ns());
             self.forwarded_pending.push_back((end, line));
             self.next_actionable = SimTime::ZERO;
-            self.event_dirty = true;
+            self.raise_dirty("try_read");
             return true;
         }
         if self.queues.read_len() >= self.cfg.read_queue_cap {
@@ -507,7 +514,7 @@ impl Controller {
         });
         self.stats.reads_accepted += 1;
         self.next_actionable = SimTime::ZERO;
-        self.event_dirty = true;
+        self.raise_dirty("try_read");
         true
     }
 
@@ -532,7 +539,7 @@ impl Controller {
         *self.pending_line_writes.entry(line).or_insert(0) += 1;
         self.stats.demand_writes_accepted += 1;
         self.next_actionable = SimTime::ZERO;
-        self.event_dirty = true;
+        self.raise_dirty("try_write");
         true
     }
 
@@ -565,7 +572,7 @@ impl Controller {
         *self.pending_line_writes.entry(line).or_insert(0) += 1;
         self.stats.eager_writes_accepted += 1;
         self.next_actionable = SimTime::ZERO;
-        self.event_dirty = true;
+        self.raise_dirty("try_eager");
     }
 
     /// The controller's next-event hook for the system's fast-forward
@@ -592,6 +599,7 @@ impl Controller {
     /// Batch-applies `edges` skipped memory-clock edges on which
     /// `tick`'s fast path would have run: each rotates the round-robin
     /// origin once and changes nothing else.
+    // mellow-lint: allow(horizon-protocol) -- closed-form idle replay: rotating the rr origin leaves next_actionable unchanged
     pub fn fast_forward_idle(&mut self, edges: MemCycles) {
         let n = self.banks.len() as u64;
         self.rr_start = ((self.rr_start as u64 + edges.count() % n) % n) as usize;
@@ -601,7 +609,7 @@ impl Controller {
     pub fn pop_read_done(&mut self) -> Option<u64> {
         let line = self.read_done.pop_front();
         if line.is_some() {
-            self.event_dirty = true;
+            self.raise_dirty("pop_read_done");
         }
         line
     }
@@ -612,6 +620,38 @@ impl Controller {
     /// `false`.
     pub fn take_event_dirty(&mut self) -> bool {
         std::mem::replace(&mut self.event_dirty, false)
+    }
+
+    /// Raises the event-dirty flag, attributing the raise to `site` when
+    /// the sanitizer is compiled in.
+    fn raise_dirty(&mut self, site: &'static str) {
+        self.event_dirty = true;
+        #[cfg(feature = "sanitize")]
+        self.dirty_sites.push(site);
+        #[cfg(not(feature = "sanitize"))]
+        let _ = site;
+    }
+
+    /// Drains the sites that raised the dirty flag since the last drain.
+    #[cfg(feature = "sanitize")]
+    pub fn take_dirty_sites(&mut self) -> Vec<&'static str> {
+        std::mem::take(&mut self.dirty_sites)
+    }
+
+    /// Test hook: raises the dirty flag from an arbitrary `site`, for
+    /// sanitizer violation-injection tests.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_raise_dirty(&mut self, site: &'static str) {
+        self.raise_dirty(site);
+    }
+
+    /// Test hook: suppresses a pending dirty flag (and its sites) so a
+    /// horizon-moving mutation goes unreported — the late-wake violation
+    /// the sanitizer must catch.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_clear_dirty(&mut self) {
+        self.event_dirty = false;
+        self.dirty_sites.clear();
     }
 
     fn alloc_serial(&mut self) -> u64 {
@@ -635,7 +675,7 @@ impl Controller {
         self.cancel_writes_for_reads(now);
         let tfaw_blocked = self.issue(now);
         self.next_actionable = self.compute_next_actionable(now, tfaw_blocked);
-        self.event_dirty = true;
+        self.raise_dirty("tick");
     }
 
     /// The earliest time a future tick could act given current state —
@@ -1342,7 +1382,7 @@ impl Controller {
             self.next_period_at = now + qc.sample_period;
         }
         self.next_actionable = SimTime::ZERO;
-        self.event_dirty = true;
+        self.raise_dirty("reset_stats");
     }
 }
 

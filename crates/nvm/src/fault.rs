@@ -171,7 +171,6 @@ impl FaultState {
         cfg.validate();
         assert!(banks > 0, "bank count must be non-zero");
         assert!(blocks_per_bank > 0, "blocks per bank must be non-zero");
-        let root = DetRng::seed_from(cfg.seed);
         let mut state = FaultState {
             cfg,
             base_endurance: endurance.base_endurance(),
@@ -185,11 +184,14 @@ impl FaultState {
                 };
                 banks
             ],
-            limit_root: root.derive(STREAM_LIMIT),
-            transient: root.derive(STREAM_TRANSIENT),
+            // `derive` never advances its parent, so deriving each stream
+            // from a fresh `seed_from(cfg.seed)` is bit-identical to the
+            // former shared root generator.
+            limit_root: DetRng::seed_from(cfg.seed).derive(STREAM_LIMIT),
+            transient: DetRng::seed_from(cfg.seed).derive(STREAM_TRANSIENT),
         };
         let stuck_per_bank = cfg.stuck_at_per_bank.min(blocks_per_bank);
-        let mut stuck_rng = root.derive(STREAM_STUCK);
+        let mut stuck_rng = DetRng::seed_from(cfg.seed).derive(STREAM_STUCK);
         for bank in 0..banks {
             let mut placed = 0;
             while placed < stuck_per_bank {

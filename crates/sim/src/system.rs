@@ -3,16 +3,50 @@
 use crate::{Metrics, SystemConfig};
 use mellow_cache::{line_of, AccessId, Cache};
 use mellow_cpu::{Core, CoreStall, ReqId, TraceSource};
+#[cfg(feature = "sanitize")]
+use mellow_engine::sanitize::Sanitizer;
 use mellow_engine::{CoreCycles, DetRng, HorizonQueue, SimTime};
 use mellow_memctrl::Controller;
 
-/// Horizon-source ids for the event kernel's [`HorizonQueue`].
-const SRC_SAMPLE: usize = 0;
-const SRC_L1: usize = 1;
-const SRC_L2: usize = 2;
-const SRC_LLC: usize = 3;
-const SRC_CTRL: usize = 4;
-const NUM_SOURCES: usize = 5;
+/// Horizon sources for the event kernel's [`HorizonQueue`]: each
+/// component (plus the utility sampler) owns one queue slot. The lint
+/// pass `horizon-source-exhaustiveness` checks that every variant here
+/// has a post site in [`System::refresh_horizons`] and a dispatch arm in
+/// [`System::advance_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HorizonSource {
+    /// The utility-monitor sampling boundary (always live).
+    Sample,
+    /// The L1 cache's next input/transfer head coming due.
+    L1,
+    /// The L2 cache's next input/transfer head coming due.
+    L2,
+    /// The last-level cache's next input/transfer head coming due.
+    Llc,
+    /// The memory controller's next actionable memory-clock edge.
+    Ctrl,
+}
+
+impl HorizonSource {
+    /// Every source, in queue-slot order.
+    pub const ALL: [HorizonSource; 5] = [
+        HorizonSource::Sample,
+        HorizonSource::L1,
+        HorizonSource::L2,
+        HorizonSource::Llc,
+        HorizonSource::Ctrl,
+    ];
+
+    /// This source's [`HorizonQueue`] slot.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`index`](Self::index).
+    pub fn from_index(i: usize) -> HorizonSource {
+        Self::ALL[i]
+    }
+}
 
 /// Drains one output queue into a consumer: items transfer in order
 /// until `try_accept` reports the consumer full (backpressure). `peek`
@@ -71,6 +105,9 @@ pub struct System {
     next_sample_at: SimTime,
     /// Core cycles per memory cycle (5 for 2 GHz / 400 MHz).
     mem_divisor: u64,
+    /// The mellow-san shadow-state checker (see `mellow_engine::sanitize`).
+    #[cfg(feature = "sanitize")]
+    san: Sanitizer,
 }
 
 impl std::fmt::Debug for System {
@@ -113,6 +150,32 @@ impl System {
         }
         let eager_rng = DetRng::seed_from(cfg.seed).derive(0x000E_A6EE);
         let next_sample_at = SimTime::ZERO + cfg.sample_period();
+        #[cfg(feature = "sanitize")]
+        let san = {
+            // Sites the protocol forbids from raising the dirty flag:
+            // output pops, stats resets and closed-form fast-forwards
+            // cannot move a horizon (DESIGN §12), so a raise from one of
+            // them masks real protocol bugs behind spurious refreshes.
+            const CACHE_FORBIDDEN: &[&str] = &[
+                "pop_completion",
+                "pop_fill_up",
+                "pop_miss_down",
+                "pop_writeback_down",
+                "reset_stats",
+                "fast_forward_stalled",
+                "fast_forward_rejected_inputs",
+            ];
+            let mut san = Sanitizer::new(
+                &["sample", "l1", "l2", "llc", "ctrl"],
+                Some(HorizonSource::Ctrl.index()),
+                cfg.mem.clock.period(),
+            );
+            for src in [HorizonSource::L1, HorizonSource::L2, HorizonSource::Llc] {
+                san.set_forbidden_sites(src.index(), CACHE_FORBIDDEN);
+            }
+            san.set_forbidden_sites(HorizonSource::Ctrl.index(), &["fast_forward_idle"]);
+            san
+        };
         System {
             core,
             l1,
@@ -120,12 +183,14 @@ impl System {
             llc,
             ctrl,
             eager_rng,
-            horizons: HorizonQueue::new(NUM_SOURCES),
+            horizons: HorizonQueue::new(HorizonSource::ALL.len()),
             cycle: CoreCycles::ZERO,
             now: SimTime::ZERO,
             measure_start: SimTime::ZERO,
             next_sample_at,
             mem_divisor: mem_ps / core_ps,
+            #[cfg(feature = "sanitize")]
+            san,
             cfg,
         }
     }
@@ -343,38 +408,136 @@ impl System {
     /// sampler has no flag; its boundary is re-posted unconditionally —
     /// posting an unchanged horizon is a no-op.
     fn refresh_horizons(&mut self) {
-        self.horizons.post(SRC_SAMPLE, self.next_sample_at);
         let now = self.now;
-        for (src, cache) in [
-            (SRC_L1, &mut self.l1),
-            (SRC_L2, &mut self.l2),
-            (SRC_LLC, &mut self.llc),
-        ] {
-            if cache.take_event_dirty() {
-                match cache.next_event(now) {
-                    Some(t) => self.horizons.post(src, t),
-                    None => self.horizons.withdraw(src),
-                }
-            }
+        self.post_horizon(HorizonSource::Sample, Some(self.next_sample_at));
+        let l1_dirty = self.l1.take_event_dirty();
+        #[cfg(feature = "sanitize")]
+        {
+            let sites = self.l1.take_dirty_sites();
+            let due = self.l1.next_event(now);
+            self.sanitize_component(HorizonSource::L1, l1_dirty, &sites, due);
         }
-        if self.ctrl.take_event_dirty() {
-            match self.ctrl.next_event() {
-                // The controller acts only on memory-clock edges, so its
-                // horizon posts pre-aligned to the first edge at or past
-                // the actionable time. `next_multiple_of` distributes
-                // over `max`, so the per-jump "no earlier than the next
-                // cycle" clamp can move to pop time (`ctrl_floor` in
-                // [`advance_event`](Self::advance_event)) and the posted
-                // horizon stays valid across jumps.
-                Some(t) => {
-                    let edge = CoreCycles::at_or_after(t, &self.cfg.core_clock)
-                        .next_multiple_of(self.mem_divisor)
-                        .edge(&self.cfg.core_clock);
-                    self.horizons.post(SRC_CTRL, edge);
-                }
-                None => self.horizons.withdraw(SRC_CTRL),
-            }
+        if l1_dirty {
+            let due = self.l1.next_event(now);
+            self.post_horizon(HorizonSource::L1, due);
         }
+        let l2_dirty = self.l2.take_event_dirty();
+        #[cfg(feature = "sanitize")]
+        {
+            let sites = self.l2.take_dirty_sites();
+            let due = self.l2.next_event(now);
+            self.sanitize_component(HorizonSource::L2, l2_dirty, &sites, due);
+        }
+        if l2_dirty {
+            let due = self.l2.next_event(now);
+            self.post_horizon(HorizonSource::L2, due);
+        }
+        let llc_dirty = self.llc.take_event_dirty();
+        #[cfg(feature = "sanitize")]
+        {
+            let sites = self.llc.take_dirty_sites();
+            let due = self.llc.next_event(now);
+            self.sanitize_component(HorizonSource::Llc, llc_dirty, &sites, due);
+        }
+        if llc_dirty {
+            let due = self.llc.next_event(now);
+            self.post_horizon(HorizonSource::Llc, due);
+        }
+        let ctrl_dirty = self.ctrl.take_event_dirty();
+        #[cfg(feature = "sanitize")]
+        {
+            let sites = self.ctrl.take_dirty_sites();
+            let due = self.ctrl.next_event().map(|t| self.ctrl_edge(t));
+            self.sanitize_component(HorizonSource::Ctrl, ctrl_dirty, &sites, due);
+        }
+        if ctrl_dirty {
+            // The controller acts only on memory-clock edges, so its
+            // horizon posts pre-aligned to the first edge at or past
+            // the actionable time (see [`ctrl_edge`](Self::ctrl_edge)).
+            // `next_multiple_of` distributes over `max`, so the
+            // per-jump "no earlier than the next cycle" clamp can move
+            // to pop time (`ctrl_floor` in
+            // [`advance_event`](Self::advance_event)) and the posted
+            // horizon stays valid across jumps.
+            let due = self.ctrl.next_event().map(|t| self.ctrl_edge(t));
+            self.post_horizon(HorizonSource::Ctrl, due);
+        }
+    }
+
+    /// The first whole memory-clock edge at or after `t` — the
+    /// alignment every controller horizon posts at.
+    fn ctrl_edge(&self, t: SimTime) -> SimTime {
+        CoreCycles::at_or_after(t, &self.cfg.core_clock)
+            .next_multiple_of(self.mem_divisor)
+            .edge(&self.cfg.core_clock)
+    }
+
+    /// Posts (or, for `None`, withdraws) one source's horizon — the
+    /// single funnel between component `next_event` answers and the
+    /// [`HorizonQueue`], so the sanitizer can shadow every transition.
+    fn post_horizon(&mut self, src: HorizonSource, due: Option<SimTime>) {
+        #[cfg(feature = "sanitize")]
+        self.san.record_post(self.cycle, self.now, src.index(), due);
+        match due {
+            Some(t) => self.horizons.post(src.index(), t),
+            None => self.horizons.withdraw(src.index()),
+        }
+    }
+
+    /// Feeds one component's refresh outcome to the sanitizer: a dirty
+    /// component accounts for its raising sites, a clean one is checked
+    /// for a horizon that silently moved earlier (a late wake).
+    #[cfg(feature = "sanitize")]
+    fn sanitize_component(
+        &mut self,
+        src: HorizonSource,
+        dirty: bool,
+        sites: &[&'static str],
+        due: Option<SimTime>,
+    ) {
+        if dirty {
+            for site in sites {
+                self.san
+                    .record_dirty(self.cycle, self.now, src.index(), site);
+            }
+        } else {
+            self.san
+                .check_posted_horizon(self.cycle, self.now, src.index(), due);
+        }
+    }
+
+    /// Test hook: runs one horizon refresh under the sanitizer.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_refresh(&mut self) {
+        self.refresh_horizons();
+    }
+
+    /// Test hook: injects a late wake — pushes new earliest work into
+    /// the L1, then suppresses the dirty flag the push raised, leaving a
+    /// clean component whose true horizon moved earlier than its posted
+    /// one. The next [`sanitize_refresh`](Self::sanitize_refresh) must
+    /// panic.
+    #[cfg(feature = "sanitize")]
+    pub fn inject_late_horizon(&mut self) {
+        self.refresh_horizons();
+        self.l1.try_demand(AccessId(u64::MAX), 0, false, self.now);
+        self.l1.sanitize_clear_dirty();
+    }
+
+    /// Test hook: raises the L1 dirty flag from a site the protocol
+    /// forbids from raising it. The next
+    /// [`sanitize_refresh`](Self::sanitize_refresh) must panic.
+    #[cfg(feature = "sanitize")]
+    pub fn inject_forbidden_dirty_site(&mut self) {
+        self.l1.sanitize_raise_dirty("pop_completion");
+    }
+
+    /// Test hook: posts the controller horizon one picosecond off a
+    /// memory-clock edge. Panics immediately.
+    #[cfg(feature = "sanitize")]
+    pub fn inject_misaligned_ctrl_horizon(&mut self) {
+        let due = self.now + mellow_engine::Duration::from_ps(1);
+        self.post_horizon(HorizonSource::Ctrl, Some(due));
     }
 
     /// The event-kernel variant of [`fast_forward`](Self::fast_forward):
@@ -409,20 +572,27 @@ impl System {
         // no longer beat the best effective cycle (raw time lower-bounds
         // the effective cycle), then re-post the inspected entries.
         let ctrl_floor = (self.cycle + CoreCycles::ONE).next_multiple_of(self.mem_divisor);
-        let mut inspected = [(SimTime::ZERO, 0usize); NUM_SOURCES];
+        let mut inspected = [(SimTime::ZERO, 0usize); HorizonSource::ALL.len()];
         let mut count = 0;
         let mut best: Option<CoreCycles> = None;
         while let Some((due, src)) = self.horizons.pop_earliest() {
+            #[cfg(feature = "sanitize")]
+            self.san.record_pop(self.cycle, self.now, src, due);
             inspected[count] = (due, src);
             count += 1;
             let lower = cycle_at(due);
             if best.is_some_and(|b| lower >= b) {
                 break;
             }
-            let eff = if src == SRC_CTRL {
-                lower.max(ctrl_floor)
-            } else {
-                lower
+            // The pop dispatch: core-clocked sources act at their posted
+            // instant; the controller additionally clamps to the first
+            // whole memory-clock edge after the current cycle.
+            let eff = match HorizonSource::from_index(src) {
+                HorizonSource::Sample
+                | HorizonSource::L1
+                | HorizonSource::L2
+                | HorizonSource::Llc => lower,
+                HorizonSource::Ctrl => lower.max(ctrl_floor),
             };
             best = Some(best.map_or(eff, |b| b.min(eff)));
         }

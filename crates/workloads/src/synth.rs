@@ -4,6 +4,11 @@ use crate::{AccessPattern, WorkloadSpec};
 use mellow_cpu::{MemOp, TraceRecord, TraceSource};
 use mellow_engine::DetRng;
 
+/// Stream id for the synthetic-trace generator: `b"mellow"` as a number.
+/// Every workload stream is `xor_stream(seed, WORKLOAD_STREAM)` so trace
+/// draws stay independent of any other consumer of the experiment seed.
+const WORKLOAD_STREAM: u64 = 0x6d65_6c6c_6f77;
+
 /// An endless synthetic instruction stream realizing a
 /// [`WorkloadSpec`].
 ///
@@ -43,7 +48,7 @@ impl SyntheticWorkload {
     /// Panics if the spec is invalid (see [`WorkloadSpec::validate`]).
     pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
         spec.validate();
-        let mut rng = DetRng::seed_from(seed ^ 0x6d65_6c6c_6f77); // "mellow"
+        let mut rng = DetRng::xor_stream(seed, WORKLOAD_STREAM);
         let stream_pos = match spec.pattern {
             AccessPattern::Streams { count, .. } => {
                 let segment = spec.working_set_bytes / count as u64;
