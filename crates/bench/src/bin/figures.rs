@@ -5,7 +5,7 @@
 //!
 //! targets: fig1 fig2 fig3 tab5 tab6 fig10 fig11 fig12 fig13 fig14
 //!          fig15 fig16 fig17 fig18 fig19 calibrate ablate graded
-//!          faults leveling perf sanitize main all
+//!          faults leveling retention perf sanitize main all
 //! ```
 //!
 //! `main` runs the shared Figs. 10–17 matrix once and prints all of
@@ -45,7 +45,7 @@ usage: figures <target> [--full|--tiny] [--threads N] [--store PATH] [--no-cache
 
 targets: fig1 fig2 fig3 tab5 tab6 fig10 fig11 fig12 fig13 fig14
          fig15 fig16 fig17 fig18 fig19 calibrate ablate graded
-         faults leveling perf sanitize main all (default)
+         faults leveling retention perf sanitize main all (default)
 
   --full        publication scale (slower)
   --tiny        CI smoke scale (fast, not meaningful for artifacts)
@@ -177,6 +177,7 @@ fn main() {
         "graded" => out.push_str(&figures::graded(scale, &settings)),
         "faults" => out.push_str(&figures::faults(scale, &settings)),
         "leveling" => out.push_str(&figures::leveling(scale, &settings)),
+        "retention" => out.push_str(&figures::retention(scale, &settings)),
         "perf" => {
             let (report, guard_ok) = perf_report(scale, scale_label, guard);
             out.push_str(&report);

@@ -965,3 +965,149 @@ pub fn leveling(scale: Scale, settings: &SweepSettings) -> String {
     }
     s
 }
+
+/// The retention/scrub sweep (not a paper artifact): drift rate (base
+/// retention) x scrub interval x slow-write policy on the write-heavy
+/// `gups` workload, with the fault layer armed so retention repairs
+/// can themselves fail and walk the remap/degradation path. Reports
+/// demand-read detections, scrub activity, repairs, retention losses,
+/// and the usable-capacity fraction; slow pulses widen the drift
+/// window (`slow_write_boost`), so the BE-Mellow+SC rows show the
+/// retention benefit of slow write backs beside the plain-fast
+/// baseline at the same drift rate. The table is also written as
+/// `BENCH_retention.json` at the repository root (overwritten, not
+/// appended: it is a curve, not a trajectory) so CI can upload the
+/// degradation curve as an artifact.
+///
+/// Like the leveling sweep, the cells shrink the memory — to 1 MiB
+/// here, so a full scrub sweep (blocks-per-bank x interval) completes
+/// inside a short measured window and the cursor actually revisits
+/// written blocks after their deadline; a zero interval disables the
+/// scrubber (demand-read detection only), isolating its contribution.
+pub fn retention(scale: Scale, settings: &SweepSettings) -> String {
+    use crate::trajectory::repo_root;
+    use mellow_engine::json::Json;
+    use mellow_engine::Duration;
+    use mellow_nvm::SaturatingMerge;
+
+    const WORKLOAD: &str = "gups";
+    /// Base retention in microseconds: smaller = faster drift.
+    const DRIFTS_US: [u64; 2] = [50, 10];
+    /// Scrub interval in nanoseconds; 0 disables the scrubber.
+    const SCRUBS_NS: [u64; 3] = [0, 200, 2_000];
+    let policies: [(&str, WritePolicy); 2] = [
+        ("Norm", WritePolicy::norm()),
+        ("BE-Mellow+SC", WritePolicy::be_mellow_sc()),
+    ];
+    let mut cells = Vec::new();
+    for &base_us in &DRIFTS_US {
+        for &scrub_ns in &SCRUBS_NS {
+            for &(_, policy) in &policies {
+                cells.push(Cell::new(WORKLOAD, policy).with_edit(move |c| {
+                    c.mem.capacity_bytes = 1 << 20;
+                    c.mem.retention.enabled = true;
+                    c.mem.retention.base_retention = Duration::from_us(base_us);
+                    c.mem.retention.drift_sigma = 0.3;
+                    c.mem.retention.slow_write_boost = 2.0;
+                    c.mem.retention.wear_sensitivity = 1.0;
+                    c.mem.scrub_interval = Duration::from_ns(scrub_ns);
+                    c.mem.fault.enabled = true;
+                    c.mem.fault.endurance_sigma = 0.25;
+                    c.mem.fault.transient_rate = 0.02;
+                    c.mem.max_write_retries = 1;
+                    c.mem.set_spares_per_bank(4);
+                }));
+            }
+        }
+    }
+    let results = settings
+        .apply(Sweep::new(scale).cells(cells))
+        .run()
+        .expect("gups is a Table IV name");
+
+    let mut s = String::from(
+        "\n=== Retention sweep: drift rate x scrub interval x policy (gups, sigma 0.3, boost 2.0) ===\n",
+    );
+    let _ = writeln!(
+        s,
+        "{:<34} {:>7} {:>9} {:>8} {:>7} {:>8} {:>8} {:>8} {:>10}",
+        "variant",
+        "dverify",
+        "scrub-rd",
+        "scrub-rw",
+        "repair",
+        "ret-lost",
+        "conflict",
+        "usable%",
+        "slow-frac"
+    );
+    let mut rows: Vec<Json> = Vec::new();
+    let mut ret_total = mellow_memctrl::RetentionStats::default();
+    let mut scrub_total = mellow_memctrl::ScrubStats::default();
+    let per_drift = SCRUBS_NS.len() * policies.len();
+    for (i, r) in results.iter().enumerate() {
+        let base_us = DRIFTS_US[i / per_drift];
+        let scrub_ns = SCRUBS_NS[(i / policies.len()) % SCRUBS_NS.len()];
+        let (pname, _) = policies[i % policies.len()];
+        let m = &r.metrics;
+        let ret = &m.retention;
+        let sc = &m.scrub;
+        ret_total.saturating_merge(ret);
+        scrub_total.saturating_merge(sc);
+        let _ = writeln!(
+            s,
+            "base {base_us:>3}us scrub {scrub_ns:>5}ns {pname:<12} {:>7} {:>9} {:>8} {:>7} {:>8} {:>8} {:>7.2}% {:>9.1}%",
+            ret.demand_verify_failures,
+            sc.scrub_reads,
+            sc.scrub_rewrites,
+            ret.repairs,
+            ret.retention_uncorrectable,
+            sc.scrub_bank_conflicts,
+            m.usable_capacity_fraction * 100.0,
+            m.slow_write_fraction * 100.0,
+        );
+        rows.push(Json::obj([
+            ("workload", Json::from(WORKLOAD)),
+            ("policy", Json::from(pname)),
+            ("base_retention_us", Json::from(base_us)),
+            ("scrub_interval_ns", Json::from(scrub_ns)),
+            (
+                "demand_verify_failures",
+                Json::from(ret.demand_verify_failures),
+            ),
+            ("scrub_reads", Json::from(sc.scrub_reads)),
+            ("scrub_rewrites", Json::from(sc.scrub_rewrites)),
+            ("repairs", Json::from(ret.repairs)),
+            (
+                "retention_uncorrectable",
+                Json::from(ret.retention_uncorrectable),
+            ),
+            ("scrub_bank_conflicts", Json::from(sc.scrub_bank_conflicts)),
+            ("verify_failures", Json::from(m.faults.verify_failures)),
+            ("uncorrectable", Json::from(m.faults.uncorrectable)),
+            (
+                "usable_capacity_fraction",
+                Json::from(m.usable_capacity_fraction),
+            ),
+            ("slow_write_fraction", Json::from(m.slow_write_fraction)),
+            ("ipc", Json::from(m.ipc)),
+        ]));
+    }
+    let _ = writeln!(
+        s,
+        "totals: {} demand detections, {} scrub reads, {} scrub rewrites, {} repairs, {} lost",
+        ret_total.demand_verify_failures,
+        scrub_total.scrub_reads,
+        scrub_total.scrub_rewrites,
+        ret_total.repairs,
+        ret_total.retention_uncorrectable,
+    );
+    let path = repo_root().join("BENCH_retention.json");
+    match std::fs::write(&path, Json::Arr(rows).to_string()) {
+        Ok(()) => {
+            let _ = writeln!(s, "retention curve written to {}", path.display());
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    s
+}

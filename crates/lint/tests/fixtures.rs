@@ -330,6 +330,47 @@ fn l4_covers_leveler_stats_counters() {
     );
 }
 
+#[test]
+fn l4_covers_retention_and_scrub_stats_counters() {
+    // The retention/scrub counters are wired into the resolution
+    // invariant (`demand_verify_failures + scrub_rewrites == repairs +
+    // retention_uncorrectable`), so dropping one from the metrics row
+    // would hollow out both the invariant audit and the retention
+    // sweep. A fixture where `scrub_rewrites` is bumped on the scrub
+    // path but never reported must fire on it — and only on it.
+    let src = "
+        pub struct RetentionStats { pub demand_verify_failures: u64, pub repairs: u64 }
+        pub struct ScrubStats { pub scrub_reads: u64, pub scrub_rewrites: u64 }
+        impl Ctrl {
+            fn on_demand_detect(&mut self) { self.retention_stats.demand_verify_failures += 1; }
+            fn on_repair(&mut self) { self.retention_stats.repairs += 1; }
+            fn on_scrub(&mut self, hit: bool) {
+                self.scrub_stats.scrub_reads += 1;
+                if hit { self.scrub_stats.scrub_rewrites += 1; }
+            }
+            fn report(&self) -> (u64, u64, u64) {
+                (
+                    self.retention_stats.demand_verify_failures,
+                    self.retention_stats.repairs,
+                    self.scrub_stats.scrub_reads,
+                )
+            }
+        }
+    ";
+    let vs = lint_source(SIM, src);
+    assert!(
+        vs.iter()
+            .any(|v| v.rule == Rule::StatsExhaustiveness && v.message.contains("scrub_rewrites")),
+        "write-only `scrub_rewrites` must fire L4, got {vs:?}"
+    );
+    for reported in ["demand_verify_failures", "repairs", "scrub_reads"] {
+        assert!(
+            !vs.iter().any(|v| v.message.contains(reported)),
+            "`{reported}` accumulates and reports, got {vs:?}"
+        );
+    }
+}
+
 // ------------------------------------------------------- diagnostics shape
 
 #[test]
@@ -434,6 +475,47 @@ fn l5_skips_files_without_event_dirty_state() {
         }
     ";
     assert!(!rules_fired(src).contains(&Rule::HorizonProtocol));
+}
+
+#[test]
+fn l5_covers_scrubber_dirty_raise_sites() {
+    // The scrub engine's visit path moves the controller's horizon
+    // (`next_scrub_at` feeds `compute_next_actionable`), so a visit
+    // that forgets to raise `event_dirty` would let the event kernel
+    // sleep through the next due scrub — exactly the bug class L5
+    // mechanizes. A mutating visit without the raise must fire; the
+    // raised version and a pure `scrub_stats` accessor must pass, and
+    // an `&mut self` stats accessor must fire as an impure observer.
+    let bad = "
+        pub struct Ctrl { event_dirty: bool, next_scrub_at: u64 }
+        impl Ctrl {
+            pub fn scrub_visit(&mut self, now: u64) { self.next_scrub_at = now + 200; }
+            pub fn scrub_stats(&mut self) -> u64 { self.next_scrub_at }
+        }
+    ";
+    let vs = lint_source(SIM, bad);
+    assert!(
+        vs.iter()
+            .any(|v| v.rule == Rule::HorizonProtocol && v.message.contains("`scrub_visit`")),
+        "scrub visit without event_dirty must fire L5, got {vs:?}"
+    );
+    assert!(
+        vs.iter().any(
+            |v| v.rule == Rule::HorizonProtocol && v.message.contains("observer `scrub_stats`")
+        ),
+        "&mut self scrub_stats accessor must fire L5, got {vs:?}"
+    );
+    let good = "
+        pub struct Ctrl { event_dirty: bool, next_scrub_at: u64 }
+        impl Ctrl {
+            pub fn scrub_visit(&mut self, now: u64) {
+                self.next_scrub_at = now + 200;
+                self.event_dirty = true;
+            }
+            pub fn scrub_stats(&self) -> u64 { self.next_scrub_at }
+        }
+    ";
+    assert!(!rules_fired(good).contains(&Rule::HorizonProtocol));
 }
 
 // ---------------------------------------------------------------- L6

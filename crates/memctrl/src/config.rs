@@ -1,7 +1,7 @@
 //! Memory-system configuration (Table II of the paper).
 
 use mellow_engine::{Clock, Duration};
-use mellow_nvm::{FaultConfig, LevelerConfig};
+use mellow_nvm::{FaultConfig, LevelerConfig, RetentionConfig};
 
 /// Geometry and timing of the resistive main memory (Table II).
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +74,38 @@ pub struct MemConfig {
     /// is constructed and the controller is bit-identical to a
     /// faultless build.
     pub fault: FaultConfig,
+    /// Retention-drift layer (per-block drift deadlines, widened by
+    /// slow pulses, narrowed by wear). Disabled by default: no drift
+    /// state is constructed and the read path is bit-identical to a
+    /// drift-free build.
+    pub retention: RetentionConfig,
+    /// Time between background scrub visits per bank. The scrubber is
+    /// active only when retention is enabled *and* this is non-zero;
+    /// each visit reads one block at the bank's scrub pointer during an
+    /// idle-bank window and rewrites it if its drift deadline passed.
+    pub scrub_interval: Duration,
+    /// Arbitration between a due scrub visit and a queued eager write
+    /// contending for the same idle-bank window.
+    pub scrub_priority: ScrubPriority,
+    /// Base backoff a verify-failed repair rewrite waits before
+    /// re-entering its queue, doubling per consumed retry (so retry
+    /// storms spread across memory-clock edges instead of hammering
+    /// the same ones). `ZERO` retries immediately, like ordinary
+    /// verify-failed writes.
+    pub repair_backoff: Duration,
+}
+
+/// Who wins an idle-bank window when a due scrub visit and a queued
+/// eager write both want it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrubPriority {
+    /// Eager writebacks keep their PR-era priority; the scrubber only
+    /// gets banks with no queued work at all (the default).
+    EagerFirst,
+    /// A due scrub visit preempts eager writebacks (demand writes still
+    /// win): retention repair is favored over wear-motivated early
+    /// writebacks.
+    ScrubFirst,
 }
 
 impl MemConfig {
@@ -104,6 +136,10 @@ impl MemConfig {
             leveling_efficiency: 0.9,
             max_write_retries: 2,
             fault: FaultConfig::disabled(),
+            retention: RetentionConfig::disabled(),
+            scrub_interval: Duration::from_us(100),
+            scrub_priority: ScrubPriority::EagerFirst,
+            repair_backoff: Duration::from_ns(20),
         }
     }
 
@@ -220,6 +256,7 @@ impl MemConfig {
             );
         }
         self.fault.validate();
+        self.retention.validate();
     }
 }
 

@@ -1,6 +1,7 @@
 //! The resistive-memory controller: queues, bank state machines, write
 //! drains, write cancellation, and the Mellow Writes issue logic.
 
+use crate::config::ScrubPriority;
 use crate::queues::{QueuedReq, ReadPick, RequestQueues};
 use crate::{LineMapping, MemConfig};
 use mellow_core::{
@@ -12,7 +13,7 @@ use mellow_engine::{Duration, MemCycles, SimTime, TimerQueue};
 use mellow_nvm::energy::EnergyAccount;
 use mellow_nvm::{
     CancelWear, EnduranceModel, FaultState, LevelerStats, LifetimeModel, LifetimeProjection,
-    RemapOutcome, WearLedger, WearLeveler, WriteVerify,
+    ReadVerify, RemapOutcome, RetentionState, WearLedger, WearLeveler, WriteVerify,
 };
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -182,6 +183,99 @@ impl mellow_engine::json::JsonField for FaultStats {
     }
 }
 
+/// Counters for the retention layer's detect → repair → degrade path.
+///
+/// Every detected drift failure — a demand read or a scrub visit
+/// finding a block past its deadline — is resolved exactly one way:
+/// repaired by a rewrite, or declared uncorrectable once the retry
+/// budget and spare pool both run out. So at any drain point
+/// `demand_verify_failures + ScrubStats::scrub_rewrites == repairs +
+/// retention_uncorrectable` (the retention analogue of the fault
+/// layer's resolution invariant).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RetentionStats {
+    /// Demand reads that found their block past its drift deadline
+    /// (served through ECC; a repair rewrite was enqueued).
+    pub demand_verify_failures: u64,
+    /// Repair rewrites that completed with a clean verify, restamping
+    /// the block's drift clock (from either detection path).
+    pub repairs: u64,
+    /// Detected drift failures whose repair could not be completed:
+    /// the rewrite kept failing verify and the remap path found no
+    /// spare, so the block's data is lost and capacity shrinks —
+    /// exactly the fault layer's `uncorrectable` ending, never a
+    /// silent loss.
+    pub retention_uncorrectable: u64,
+}
+
+impl mellow_engine::json::JsonField for RetentionStats {
+    fn to_json(&self) -> mellow_engine::json::Json {
+        mellow_engine::json_fields_to!(
+            self,
+            demand_verify_failures,
+            repairs,
+            retention_uncorrectable,
+        )
+    }
+
+    fn from_json(v: &mellow_engine::json::Json) -> Option<RetentionStats> {
+        mellow_engine::json_fields_from!(
+            v,
+            RetentionStats {
+                demand_verify_failures,
+                repairs,
+                retention_uncorrectable,
+            }
+        )
+    }
+}
+
+/// Background scrub engine activity counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScrubStats {
+    /// Blocks the scrubber visited (one verify read each).
+    pub scrub_reads: u64,
+    /// Scrub visits that found the block past its drift deadline and
+    /// enqueued a repair rewrite (the scrub-detected failures of the
+    /// retention resolution invariant).
+    pub scrub_rewrites: u64,
+    /// Idle-bank windows a due scrub visit lost to foreground work
+    /// (a read, demand write, or — under
+    /// [`ScrubPriority::EagerFirst`] — an eager write).
+    pub scrub_bank_conflicts: u64,
+}
+
+impl mellow_engine::json::JsonField for ScrubStats {
+    fn to_json(&self) -> mellow_engine::json::Json {
+        mellow_engine::json_fields_to!(self, scrub_reads, scrub_rewrites, scrub_bank_conflicts,)
+    }
+
+    fn from_json(v: &mellow_engine::json::Json) -> Option<ScrubStats> {
+        mellow_engine::json_fields_from!(
+            v,
+            ScrubStats {
+                scrub_reads,
+                scrub_rewrites,
+                scrub_bank_conflicts,
+            }
+        )
+    }
+}
+
+// The one shared fold for the controller's counter blocks: saturating
+// adds for monotone counters, minimum for the shrinking spare-pool
+// gauge (see `mellow_nvm::SaturatingMerge`).
+mellow_nvm::impl_saturating_merge!(FaultStats {
+    counters: [verify_failures, retries, remaps, uncorrectable],
+    gauges_min: [spares_remaining],
+});
+mellow_nvm::impl_saturating_merge!(RetentionStats {
+    counters: [demand_verify_failures, repairs, retention_uncorrectable],
+});
+mellow_nvm::impl_saturating_merge!(ScrubStats {
+    counters: [scrub_reads, scrub_rewrites, scrub_bank_conflicts],
+});
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum OpKind {
     Read,
@@ -204,6 +298,9 @@ struct InFlight {
     /// Verify-retry attempts this write has already consumed (fault
     /// layer); carried from the queue entry so cancels preserve it.
     retries: u32,
+    /// Whether this write is a retention-repair rewrite (scrub or
+    /// demand-read detected); see [`QueuedReq::repair`].
+    repair: bool,
     enq: SimTime,
     /// Fraction of the pulse outstanding when this segment started.
     remaining_at_start: f64,
@@ -338,6 +435,23 @@ pub struct Controller {
     /// draws no fault randomness (the additivity guarantee).
     faults: Option<FaultState>,
     fault_stats: FaultStats,
+    /// Retention-drift state; `None` whenever `cfg.retention.enabled`
+    /// is false, so a disabled controller runs zero retention branches
+    /// and draws no drift randomness (the same additivity guarantee as
+    /// the fault layer).
+    retention: Option<RetentionState>,
+    retention_stats: RetentionStats,
+    scrub_stats: ScrubStats,
+    /// Per-bank scrub cursor: the next logical block the background
+    /// scrubber will verify-read at that bank.
+    scrub_ptr: Vec<u64>,
+    /// Per-bank earliest time the next scrub visit is due; the visit
+    /// itself waits for an idle-bank window (see [`Self::issue`]).
+    next_scrub_at: Vec<SimTime>,
+    /// Repair rewrites waiting out their verify-retry backoff, with
+    /// their release times (see [`MemConfig::repair_backoff`]). Few
+    /// entries, FIFO per release time; scanned in insertion order.
+    deferred_repairs: VecDeque<(SimTime, QueuedReq)>,
     next_serial: u64,
     rr_start: usize,
     /// No tick strictly before this time can act (see
@@ -390,6 +504,14 @@ impl Controller {
                 leveler.fault_pool_spares(),
             )
         });
+        // The drift clock is keyed by *logical* block: leveling moves
+        // the data but conservatively keeps the old deadline (the cells
+        // under it changed, but a fresh stamp would optimistically
+        // extend retention without a write having happened).
+        let retention = cfg
+            .retention
+            .enabled
+            .then(|| RetentionState::new(cfg.retention, banks, cfg.blocks_per_bank()));
         Controller {
             queues: RequestQueues::new(banks, cfg.use_scan_queues),
             pending_line_writes: HashMap::new(),
@@ -410,6 +532,12 @@ impl Controller {
             stats: CtrlStats::default(),
             faults,
             fault_stats: FaultStats::default(),
+            retention,
+            retention_stats: RetentionStats::default(),
+            scrub_stats: ScrubStats::default(),
+            scrub_ptr: vec![0; banks],
+            next_scrub_at: vec![SimTime::ZERO + cfg.scrub_interval; banks],
+            deferred_repairs: VecDeque::new(),
             next_serial: 0,
             rr_start: 0,
             next_actionable: SimTime::ZERO,
@@ -511,6 +639,7 @@ impl Controller {
             cancels: 0,
             remaining: 1.0,
             retries: 0,
+            repair: false,
         });
         self.stats.reads_accepted += 1;
         self.next_actionable = SimTime::ZERO;
@@ -535,6 +664,7 @@ impl Controller {
             cancels: 0,
             remaining: 1.0,
             retries: 0,
+            repair: false,
         });
         *self.pending_line_writes.entry(line).or_insert(0) += 1;
         self.stats.demand_writes_accepted += 1;
@@ -568,6 +698,7 @@ impl Controller {
             cancels: 0,
             remaining: 1.0,
             retries: 0,
+            repair: false,
         });
         *self.pending_line_writes.entry(line).or_insert(0) += 1;
         self.stats.eager_writes_accepted += 1;
@@ -669,6 +800,7 @@ impl Controller {
             return;
         }
         self.drain_forwarded(now);
+        self.release_deferred_repairs(now);
         self.process_completions(now);
         self.roll_periods(now);
         self.update_drain_state(now);
@@ -684,7 +816,8 @@ impl Controller {
     /// Exactness: every event that could make an earlier tick act either
     /// (a) is scheduled and included in the minimum below — completions,
     /// pending forwarded reads, quota period boundaries, busy banks with
-    /// issueable work; (b) arrives through `try_read`/`try_write`/
+    /// issueable work, due-or-busy scrub visits, deferred repair
+    /// releases; (b) arrives through `try_read`/`try_write`/
     /// `try_eager`, each of which resets `next_actionable` to `ZERO`; or
     /// (c) is due immediately, in which case `ZERO` is returned — a
     /// pending drain transition, a tFAW-blocked activation, a free bank
@@ -718,6 +851,24 @@ impl Controller {
         }
         if self.quota.is_some() {
             next = next.min(self.next_period_at);
+        }
+        // Deferred repairs release at their recorded times; entries are
+        // always parked in the future (backoff is non-zero whenever the
+        // deferral path runs), so no ZERO case arises here.
+        for &(t, _) in &self.deferred_repairs {
+            next = next.min(t);
+        }
+        if self.scrub_active() {
+            // A scrub visit happens at the later of its due time and
+            // the bank falling idle. `issue` has already run this tick:
+            // a due visit either happened (pushing `next_scrub_at` past
+            // `now`) or lost its bank to foreground work (leaving the
+            // bank busy), so the maximum below is strictly future —
+            // except under tFAW blocking, which already returned ZERO.
+            for bank_idx in 0..self.banks.len() {
+                let t = self.next_scrub_at[bank_idx].max(self.banks.busy_until[bank_idx]);
+                next = next.min(t);
+            }
         }
         for bank_idx in 0..self.banks.len() {
             // `decide_write` is non-idle exactly when a write is queued
@@ -768,6 +919,7 @@ impl Controller {
                     self.stats
                         .read_latency_ns
                         .record(op.end.saturating_since(op.enq).as_ns());
+                    self.check_read_retention(c.bank, &op);
                 }
                 OpKind::DemandWrite | OpKind::EagerWrite => {
                     self.complete_write(c.bank, op);
@@ -799,14 +951,31 @@ impl Controller {
         for m in moved {
             self.ledger.record_leveling_write(bank_idx, Some(m));
         }
+        // Every verified write restamps the block's drift clock: slow
+        // pulses widen the deadline, a worn block narrows it.
+        if let Some(r) = &mut self.retention {
+            let worn = self
+                .faults
+                .as_ref()
+                .map_or(0.0, |f| f.wear_fraction(bank_idx, phys));
+            r.record_write(bank_idx, op.mapping.block, op.end, factor, worn);
+        }
         // Graded factors between 1x and 3x are charged slow-write
         // energy (a conservative overestimate; Table VI only
         // characterizes the two paper speeds).
         if factor > 1.0 {
             self.energy.add_slow_write();
-            self.stats.writes_completed_slow += 1;
         } else {
             self.energy.add_normal_write();
+        }
+        if op.repair {
+            // Repair rewrites refresh data the host already owns: they
+            // drive the cells (wear, energy, leveling above) but count
+            // as repairs, not demand/eager completions.
+            self.retention_stats.repairs += 1;
+        } else if factor > 1.0 {
+            self.stats.writes_completed_slow += 1;
+        } else {
             self.stats.writes_completed_normal += 1;
         }
         if op.kind == OpKind::EagerWrite {
@@ -848,7 +1017,16 @@ impl Controller {
             WriteVerify::Failed => {
                 if op.retries < self.cfg.max_write_retries {
                     self.fault_stats.retries += 1;
-                    self.requeue_failed(bank_idx, op, op.retries + 1);
+                    if op.repair && self.cfg.repair_backoff > Duration::ZERO {
+                        // Repair retries back off across mem-clock
+                        // edges instead of re-queuing immediately: the
+                        // data is safe in the controller, and spacing
+                        // the attempts keeps a failing block from
+                        // monopolizing its bank.
+                        self.defer_repair_retry(bank_idx, op, op.retries + 1);
+                    } else {
+                        self.requeue_failed(bank_idx, op, op.retries + 1);
+                    }
                 } else {
                     // Retry budget spent: ask the leveler first — a
                     // pool-owning leveler (WoLFRaM) rewires the logical
@@ -905,6 +1083,7 @@ impl Controller {
             cancels: op.cancels,
             remaining: 1.0,
             retries,
+            repair: op.repair,
         };
         self.queues
             .requeue_front(req, op.kind == OpKind::EagerWrite);
@@ -914,6 +1093,19 @@ impl Controller {
     /// spares left): counts the loss and releases the pending-line entry.
     fn drop_lost_write(&mut self, op: &InFlight) {
         self.fault_stats.uncorrectable += 1;
+        if op.repair {
+            // A lost repair ends a detected drift failure the hard way:
+            // the retention invariant's uncorrectable arm. Capacity
+            // shrinks through the fault layer's lost-block accounting,
+            // never silently.
+            self.retention_stats.retention_uncorrectable += 1;
+        }
+        if let Some(r) = &mut self.retention {
+            // The data is gone; there is nothing left to scrub, so the
+            // block's drift clock is retired until a future write
+            // restamps it.
+            r.forget(op.mapping.bank, op.mapping.block);
+        }
         match self.pending_line_writes.entry(op.line) {
             Entry::Occupied(mut e) => {
                 if *e.get() <= 1 {
@@ -923,6 +1115,130 @@ impl Controller {
                 }
             }
             Entry::Vacant(_) => debug_assert!(false, "lost write missing from line index"),
+        }
+    }
+
+    /// Whether the background scrubber runs at all: retention must be
+    /// enabled and the scrub interval non-zero. (Retention without a
+    /// scrubber still detects drift on demand reads.)
+    fn scrub_active(&self) -> bool {
+        self.retention.is_some() && self.cfg.scrub_interval > Duration::ZERO
+    }
+
+    /// Whether a scrub visit is due at `bank_idx` (it still has to win
+    /// an idle-bank window in [`issue`](Self::issue)).
+    fn scrub_due(&self, bank_idx: usize, now: SimTime) -> bool {
+        self.scrub_active() && now >= self.next_scrub_at[bank_idx]
+    }
+
+    /// The raw line address of logical `block` at `bank_idx` (the
+    /// inverse of [`MemConfig::map_line`]'s bank-interleaved split).
+    fn line_for(&self, bank_idx: usize, block: u64) -> u64 {
+        block * self.cfg.num_banks as u64 + bank_idx as u64
+    }
+
+    /// One background scrub visit: verify-read the block under the
+    /// bank's scrub cursor, advance the cursor, and enqueue a repair
+    /// rewrite when the block is past its drift deadline.
+    fn scrub_visit(&mut self, bank_idx: usize, now: SimTime) {
+        let blocks = self.cfg.blocks_per_bank();
+        let block = self.scrub_ptr[bank_idx] % blocks;
+        self.scrub_ptr[bank_idx] = (block + 1) % blocks;
+        self.next_scrub_at[bank_idx] = now + self.cfg.scrub_interval;
+        self.scrub_stats.scrub_reads += 1;
+        // The verify read drives the array like a row-miss read but
+        // stays internal to the bank: no bus transfer, and the sense
+        // amps are used directly, leaving the open row undisturbed.
+        let end = now + self.cfg.t_rcd + self.cfg.t_cas;
+        self.banks.busy_time[bank_idx] += end.saturating_since(now);
+        self.banks.busy_until[bank_idx] = end;
+        self.energy.add_buffer_read();
+        let line = self.line_for(bank_idx, block);
+        // A line with a pending write needs no repair: that write will
+        // restamp the drift clock when it lands.
+        let expired = !self.pending_line_writes.contains_key(&line)
+            && self
+                .retention
+                .as_ref()
+                .is_some_and(|r| r.verify_read(bank_idx, block, now) == ReadVerify::Failed);
+        if expired {
+            self.scrub_stats.scrub_rewrites += 1;
+            self.enqueue_repair(line, now);
+        }
+    }
+
+    /// After a demand read returns, checks its block's drift deadline
+    /// and enqueues a repair rewrite on failure (the data itself is
+    /// recovered through ECC; what must be repaired is the array copy).
+    fn check_read_retention(&mut self, bank_idx: usize, op: &InFlight) {
+        let expired = self.retention.as_ref().is_some_and(|r| {
+            r.verify_read(bank_idx, op.mapping.block, op.end) == ReadVerify::Failed
+        });
+        if !expired || self.pending_line_writes.contains_key(&op.line) {
+            // Clean, or a pending write will restamp the block anyway
+            // (and scrub may already have enqueued the repair).
+            return;
+        }
+        self.retention_stats.demand_verify_failures += 1;
+        self.enqueue_repair(op.line, op.end);
+    }
+
+    /// Enqueues a retention-repair rewrite for `line` on the demand
+    /// write queue. The corrected data is already latched at the
+    /// controller (scrub verify read or demand read return), so the
+    /// rewrite skips the bus transfer.
+    fn enqueue_repair(&mut self, line: u64, now: SimTime) {
+        let mapping = self.cfg.map_line(line);
+        self.queues.push_write(QueuedReq {
+            line,
+            bank: mapping.bank,
+            row: mapping.row,
+            enq: now,
+            data_resident: true,
+            cancels: 0,
+            remaining: 1.0,
+            retries: 0,
+            repair: true,
+        });
+        *self.pending_line_writes.entry(line).or_insert(0) += 1;
+    }
+
+    /// Parks a verify-failed repair rewrite until its backoff elapses:
+    /// the wait doubles with each consumed retry.
+    fn defer_repair_retry(&mut self, bank_idx: usize, op: &InFlight, retries: u32) {
+        let doublings = (retries - 1).min(16);
+        let wait = self.cfg.repair_backoff.scale((1u64 << doublings) as f64);
+        let req = QueuedReq {
+            line: op.line,
+            bank: bank_idx,
+            row: op.mapping.row,
+            enq: op.enq,
+            data_resident: true,
+            cancels: op.cancels,
+            remaining: 1.0,
+            retries,
+            repair: true,
+        };
+        self.deferred_repairs.push_back((op.end + wait, req));
+    }
+
+    /// Releases deferred repair retries whose backoff has elapsed back
+    /// to the front of the write queue (age priority, like any retry).
+    fn release_deferred_repairs(&mut self, now: SimTime) {
+        if self.deferred_repairs.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.deferred_repairs.len() {
+            if self.deferred_repairs[i].0 <= now {
+                let (_, req) = self
+                    .deferred_repairs
+                    .remove(i)
+                    .expect("index checked in range");
+                self.queues.requeue_front(req, false);
+            } else {
+                i += 1;
+            }
         }
     }
 
@@ -1024,6 +1340,7 @@ impl Controller {
                 cancels: op.cancels + 1,
                 remaining,
                 retries: op.retries,
+                repair: op.repair,
             };
             self.queues
                 .requeue_front(req, op.kind == OpKind::EagerWrite);
@@ -1054,6 +1371,7 @@ impl Controller {
             if now < self.banks.busy_until[bank_idx] {
                 continue;
             }
+            let scrub_due = self.scrub_due(bank_idx, now);
             if self.draining {
                 if self.queues.writes_at(bank_idx) > 0 {
                     let view = self.bank_view(bank_idx);
@@ -1063,6 +1381,13 @@ impl Controller {
                         .take_write(bank_idx)
                         .expect("occupancy implies a queued write");
                     self.issue_write(bank_idx, req, speed, OpKind::DemandWrite, now);
+                    if scrub_due {
+                        self.scrub_stats.scrub_bank_conflicts += 1;
+                    }
+                } else if scrub_due {
+                    // A drain only commits banks with queued writes;
+                    // this one is idle, so the scrubber may use it.
+                    self.scrub_visit(bank_idx, now);
                 }
                 continue; // reads are blocked while draining
             }
@@ -1073,6 +1398,8 @@ impl Controller {
             {
                 if !self.issue_read(bank_idx, req, pick, now) {
                     tfaw_blocked = true; // retry next cycle
+                } else if scrub_due {
+                    self.scrub_stats.scrub_bank_conflicts += 1;
                 }
                 continue;
             }
@@ -1084,15 +1411,31 @@ impl Controller {
                         .take_write(bank_idx)
                         .expect("decision implies a queued write");
                     self.issue_write(bank_idx, req, speed, OpKind::DemandWrite, now);
+                    if scrub_due {
+                        self.scrub_stats.scrub_bank_conflicts += 1;
+                    }
                 }
                 WriteDecision::Eager(speed) => {
-                    let req = self
-                        .queues
-                        .take_eager(bank_idx)
-                        .expect("decision implies a queued eager write");
-                    self.issue_write(bank_idx, req, speed, OpKind::EagerWrite, now);
+                    // The one configurable arbitration: eager writes
+                    // and scrub visits both live off idle-bank windows.
+                    if scrub_due && self.cfg.scrub_priority == ScrubPriority::ScrubFirst {
+                        self.scrub_visit(bank_idx, now);
+                    } else {
+                        let req = self
+                            .queues
+                            .take_eager(bank_idx)
+                            .expect("decision implies a queued eager write");
+                        self.issue_write(bank_idx, req, speed, OpKind::EagerWrite, now);
+                        if scrub_due {
+                            self.scrub_stats.scrub_bank_conflicts += 1;
+                        }
+                    }
                 }
-                WriteDecision::Idle => {}
+                WriteDecision::Idle => {
+                    if scrub_due {
+                        self.scrub_visit(bank_idx, now);
+                    }
+                }
             }
         }
         tfaw_blocked
@@ -1141,6 +1484,7 @@ impl Controller {
             cancellable: false,
             cancels: 0,
             retries: 0,
+            repair: false,
             enq: req.enq,
             remaining_at_start: 0.0,
             pulse_start: end,
@@ -1201,6 +1545,7 @@ impl Controller {
             cancellable: self.policy.cancellable(speed),
             cancels: req.cancels,
             retries: req.retries,
+            repair: req.repair,
             enq: req.enq,
             remaining_at_start: req.remaining,
             pulse_start,
@@ -1284,6 +1629,17 @@ impl Controller {
         s
     }
 
+    /// Returns the retention-repair counters (see [`RetentionStats`] for
+    /// the resolution invariant they satisfy).
+    pub fn retention_stats(&self) -> &RetentionStats {
+        &self.retention_stats
+    }
+
+    /// Returns the background scrub engine's counters.
+    pub fn scrub_stats(&self) -> &ScrubStats {
+        &self.scrub_stats
+    }
+
     /// The active wear-leveling scheme's short name.
     pub fn leveler_name(&self) -> &'static str {
         self.leveler.name()
@@ -1361,6 +1717,10 @@ impl Controller {
         // *state* (wear limits, stuck blocks, consumed spares) is device
         // state and persists, like the Start-Gap registers.
         self.fault_stats = FaultStats::default();
+        // Same split for retention: counters reset, while the drift
+        // table, scrub cursors, and parked repair retries persist.
+        self.retention_stats = RetentionStats::default();
+        self.scrub_stats = ScrubStats::default();
         // Leveler registers/tables persist as device state; snapshot
         // the counters so reported stats cover the new window.
         self.leveler_base = self.leveler.stats();
@@ -1390,7 +1750,7 @@ impl Controller {
 mod tests {
     use super::*;
     use mellow_core::WritePolicy;
-    use mellow_nvm::{CancelWear, EnduranceModel};
+    use mellow_nvm::{CancelWear, EnduranceModel, ExpoFactor, RetentionConfig};
 
     #[test]
     fn fast_forward_idle_matches_ticked_fast_path() {
@@ -1512,5 +1872,195 @@ mod tests {
         );
         assert_eq!(c.usable_capacity_fraction(), 1.0);
         assert_eq!(c.lost_blocks(), 0);
+    }
+
+    /// A 16 KiB / 4-bank config (64 logical blocks per bank) with the
+    /// drift layer on: base retention 10 µs, no spread, and a 1 µs
+    /// scrub interval, so one full scrub sweep of a bank takes 64 µs.
+    fn retention_cfg() -> MemConfig {
+        let mut cfg = MemConfig::paper_default();
+        cfg.capacity_bytes = 1 << 14;
+        cfg.num_banks = 4;
+        cfg.num_ranks = 1;
+        cfg.retention = RetentionConfig {
+            enabled: true,
+            base_retention: Duration::from_us(10),
+            drift_sigma: 0.0,
+            slow_write_boost: 0.0,
+            wear_sensitivity: 0.0,
+            seed: 0xD21F,
+        };
+        cfg.scrub_interval = Duration::from_us(1);
+        cfg
+    }
+
+    fn run_span(c: &mut Controller, from_cycle: u64, to_cycle: u64) {
+        for i in (from_cycle + 1)..=to_cycle {
+            c.tick(SimTime::from_ps(i * 2500));
+        }
+    }
+
+    #[test]
+    fn scrubber_detects_and_repairs_expired_blocks() {
+        let mut c = Controller::new(
+            retention_cfg(),
+            WritePolicy::norm(),
+            EnduranceModel::reram_default(),
+            CancelWear::Prorated,
+        );
+        // Line 7 = bank 3, block 1: stamped at completion (~0.4 µs),
+        // expired on the scrubber's second visit to block 1 (~66 µs)
+        // and on every 64 µs revisit after the repair restamps it.
+        assert!(c.try_write(7, SimTime::ZERO));
+        run_span(&mut c, 0, 60_000); // 150 µs
+        let s = c.scrub_stats().clone();
+        let r = c.retention_stats().clone();
+        assert_eq!(s.scrub_rewrites, 2, "{s:?}");
+        assert_eq!(r.demand_verify_failures, 0);
+        assert_eq!(r.repairs, 2, "{r:?}");
+        assert_eq!(r.retention_uncorrectable, 0);
+        assert_eq!(
+            r.demand_verify_failures + s.scrub_rewrites,
+            r.repairs + r.retention_uncorrectable
+        );
+        // ~1 visit per µs per bank, minus busy windows.
+        assert!(s.scrub_reads >= 400, "{s:?}");
+        // Repairs are not demand completions: the host wrote once.
+        assert_eq!(c.stats().writes_completed_normal, 1);
+        // No fault layer: repairs cannot fail, nothing is lost.
+        assert_eq!(c.fault_stats().verify_failures, 0);
+        assert_eq!(c.usable_capacity_fraction(), 1.0);
+    }
+
+    #[test]
+    fn demand_read_detects_expired_block_and_repairs() {
+        let mut cfg = retention_cfg();
+        cfg.scrub_interval = Duration::ZERO; // no scrubber: reads detect
+        let mut c = Controller::new(
+            cfg,
+            WritePolicy::norm(),
+            EnduranceModel::reram_default(),
+            CancelWear::Prorated,
+        );
+        assert!(c.try_write(7, SimTime::ZERO));
+        run_span(&mut c, 0, 8_000); // 20 µs: the block is past deadline
+        assert_eq!(c.scrub_stats().scrub_reads, 0);
+        assert!(c.try_read(7, SimTime::from_ps(8_000 * 2500)));
+        run_span(&mut c, 8_000, 10_000);
+        assert_eq!(c.pop_read_done(), Some(7));
+        let r = c.retention_stats().clone();
+        assert_eq!(r.demand_verify_failures, 1);
+        assert_eq!(r.repairs, 1, "{r:?}");
+        // The repair restamped the clock: a prompt re-read is clean.
+        assert!(c.try_read(7, SimTime::from_ps(10_000 * 2500)));
+        run_span(&mut c, 10_000, 12_000);
+        assert_eq!(c.pop_read_done(), Some(7));
+        assert_eq!(c.retention_stats().demand_verify_failures, 1);
+    }
+
+    #[test]
+    fn repair_write_failures_walk_the_remap_path() {
+        let mut cfg = retention_cfg();
+        cfg.max_write_retries = 1;
+        cfg.set_spares_per_bank(1);
+        cfg.fault.enabled = true; // sigma 0: every block endures 2 writes
+        let mut c = Controller::new(
+            cfg,
+            WritePolicy::norm(),
+            // Two writes per cell group: the host write spends one, so
+            // every repair rewrite to the original group fails verify.
+            EnduranceModel::new(Duration::from_ns(150), 2.0, ExpoFactor::QUADRATIC),
+            CancelWear::Prorated,
+        );
+        assert!(c.try_write(7, SimTime::ZERO));
+        // First expiry (~66 µs): repair fails, backs off, fails again,
+        // remaps to the bank's one spare, succeeds there. Second expiry
+        // (~130 µs): the spare also has one write spent, so the repair
+        // fails through the empty pool and the block's data is lost.
+        run_span(&mut c, 0, 60_000); // 150 µs
+        let s = c.scrub_stats().clone();
+        let r = c.retention_stats().clone();
+        let f = c.fault_stats();
+        assert_eq!(s.scrub_rewrites, 2, "{s:?}");
+        assert_eq!(r.repairs, 1, "{r:?}");
+        assert_eq!(r.retention_uncorrectable, 1);
+        assert_eq!(
+            r.demand_verify_failures + s.scrub_rewrites,
+            r.repairs + r.retention_uncorrectable
+        );
+        assert_eq!(f.verify_failures, 4, "{f:?}");
+        assert_eq!(f.retries, 2);
+        assert_eq!(f.remaps, 1);
+        assert_eq!(f.uncorrectable, 1);
+        assert_eq!(f.verify_failures, f.retries + f.remaps + f.uncorrectable);
+        assert_eq!(c.lost_blocks(), 1);
+        assert!(c.usable_capacity_fraction() < 1.0);
+        // The forgotten block stops re-detecting: nothing accrues after
+        // the loss even though the scrubber keeps sweeping.
+        run_span(&mut c, 60_000, 120_000);
+        assert_eq!(c.scrub_stats().scrub_rewrites, 2);
+        assert_eq!(c.retention_stats().retention_uncorrectable, 1);
+    }
+
+    #[test]
+    fn scrub_priority_arbitrates_idle_bank_windows() {
+        let mk = |priority| {
+            let mut cfg = retention_cfg();
+            cfg.retention.base_retention = Duration::from_ns(1_000_000); // never expires here
+            cfg.scrub_interval = Duration::from_ps(2500); // due every edge
+            cfg.scrub_priority = priority;
+            let mut c = Controller::new(
+                cfg,
+                WritePolicy::be_mellow_sc(),
+                EnduranceModel::reram_default(),
+                CancelWear::Prorated,
+            );
+            c.try_eager(0, SimTime::ZERO); // bank 0
+            c.tick(SimTime::from_ps(2500));
+            c
+        };
+        // Eager first: the eager write wins bank 0 (one counted
+        // conflict); the three idle banks scrub.
+        let c = mk(ScrubPriority::EagerFirst);
+        assert_eq!(c.queue_depths().2, 0);
+        assert_eq!(c.scrub_stats().scrub_reads, 3);
+        assert_eq!(c.scrub_stats().scrub_bank_conflicts, 1);
+        // Scrub first: the due visit wins bank 0 and the eager write
+        // waits (no conflict counted — the scrubber did not lose).
+        let c = mk(ScrubPriority::ScrubFirst);
+        assert_eq!(c.queue_depths().2, 1);
+        assert_eq!(c.scrub_stats().scrub_reads, 4);
+        assert_eq!(c.scrub_stats().scrub_bank_conflicts, 0);
+    }
+
+    #[test]
+    fn zero_knob_retention_layer_is_inert() {
+        let run = |enabled: bool| {
+            let mut cfg = small_cfg();
+            if enabled {
+                cfg.retention.enabled = true;
+                cfg.retention.base_retention = Duration::ZERO;
+                cfg.retention.seed = 99;
+                cfg.scrub_interval = Duration::ZERO;
+            }
+            let mut c = Controller::new(
+                cfg,
+                WritePolicy::be_mellow_sc(),
+                EnduranceModel::reram_default(),
+                CancelWear::Prorated,
+            );
+            assert!(c.try_write(3, SimTime::ZERO));
+            c.try_eager(8, SimTime::ZERO);
+            assert!(c.try_read(21, SimTime::ZERO));
+            drain(&mut c, 5_000);
+            format!(
+                "{:?} {:?} {:?} {:?}",
+                c.stats(),
+                c.fault_stats(),
+                c.retention_stats(),
+                c.scrub_stats()
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 }

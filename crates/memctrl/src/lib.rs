@@ -18,8 +18,8 @@ mod config;
 mod controller;
 mod queues;
 
-pub use config::{LineMapping, MemConfig};
-pub use controller::{Controller, CtrlStats, FaultStats};
+pub use config::{LineMapping, MemConfig, ScrubPriority};
+pub use controller::{Controller, CtrlStats, FaultStats, RetentionStats, ScrubStats};
 
 #[cfg(test)]
 mod tests {

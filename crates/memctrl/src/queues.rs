@@ -38,6 +38,10 @@ pub(crate) struct QueuedReq {
     /// Verify-retry attempts consumed so far (fault layer); resets to
     /// zero after a remap to a spare block.
     pub(crate) retries: u32,
+    /// Set on retention-repair rewrites (scrub or demand-read detected):
+    /// completion counts as a repair, not a demand/eager write, and a
+    /// lost repair is a retention-uncorrectable loss.
+    pub(crate) repair: bool,
 }
 
 /// A handle to one read chosen by [`RequestQueues::pick_read`], valid
@@ -317,6 +321,7 @@ mod tests {
             cancels: 0,
             remaining: 1.0,
             retries: 0,
+            repair: false,
         }
     }
 

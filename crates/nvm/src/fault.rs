@@ -255,6 +255,16 @@ impl FaultState {
         self.banks[bank].blocks.get(&block).is_some_and(|b| b.lost)
     }
 
+    /// Fraction of the block's current cell group's endurance already
+    /// consumed, in `[0, 1]`; `0.0` for untouched blocks. The
+    /// retention layer uses this to narrow worn cells' drift margins.
+    pub fn wear_fraction(&self, bank: usize, block: u64) -> f64 {
+        self.banks[bank]
+            .blocks
+            .get(&block)
+            .map_or(0.0, |b| (b.wear / b.limit).clamp(0.0, 1.0))
+    }
+
     /// Records one completed write pulse of `wear` normal-write
     /// equivalents against the block and verifies it.
     ///
@@ -521,6 +531,23 @@ mod tests {
         }
         // 1000 expected; generous band.
         assert!((700..1300).contains(&failures), "failures = {failures}");
+    }
+
+    #[test]
+    fn wear_fraction_tracks_consumed_endurance() {
+        let tiny = EnduranceModel::new(
+            mellow_engine::Duration::from_ns(150),
+            4.0,
+            crate::ExpoFactor::QUADRATIC,
+        );
+        let mut s = FaultState::new(cfg(0.0, 0.0, 0), &tiny, 1, 8, 2);
+        assert_eq!(s.wear_fraction(0, 3), 0.0, "untouched block");
+        s.verify_write(0, 3, 1.0);
+        assert!((s.wear_fraction(0, 3) - 0.25).abs() < 1e-12);
+        for _ in 0..10 {
+            s.verify_write(0, 3, 1.0);
+        }
+        assert_eq!(s.wear_fraction(0, 3), 1.0, "clamped at full wear");
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //! - [`fault`] — per-block endurance variation, stuck-at and transient
 //!   fault injection, and the spare-pool/lost-block accounting behind
 //!   the controller's write-verify → retry → remap path.
+//! - [`retention`] — the retention-drift clock: every write stamps a
+//!   deterministic drift deadline (widened by slow pulses, narrowed by
+//!   wear), and reads past it fail verify — the fault axis behind the
+//!   controller's scrub engine and demand-read repair path.
 //!
 //! # Examples
 //!
@@ -49,6 +53,8 @@ pub mod energy;
 pub mod fault;
 pub mod leveler;
 mod lifetime;
+mod merge;
+pub mod retention;
 mod startgap;
 mod wear;
 
@@ -59,5 +65,7 @@ pub use leveler::{
     WolframLeveler,
 };
 pub use lifetime::{LifetimeModel, LifetimeProjection, SECONDS_PER_YEAR};
+pub use merge::SaturatingMerge;
+pub use retention::{ReadVerify, RetentionConfig, RetentionState};
 pub use startgap::StartGap;
 pub use wear::{BankWear, BlockWearTable, CancelWear, WearLedger};

@@ -4,7 +4,7 @@ use crate::SystemConfig;
 use mellow_cache::{Cache, CacheStats};
 use mellow_cpu::Core;
 use mellow_engine::{CoreCycles, Duration, SimTime};
-use mellow_memctrl::{Controller, CtrlStats, FaultStats};
+use mellow_memctrl::{Controller, CtrlStats, FaultStats, RetentionStats, ScrubStats};
 use mellow_nvm::energy::{EnergyAccount, EnergyModel};
 
 /// Everything measured in one `(workload, policy)` run — the atom from
@@ -45,6 +45,12 @@ pub struct Metrics {
     /// Fault-layer counters (write-verify failures, retries, remaps,
     /// spares remaining, uncorrectable losses).
     pub faults: FaultStats,
+    /// Retention-layer counters (drift detections on demand reads,
+    /// completed repairs, uncorrectable retention losses).
+    pub retention: RetentionStats,
+    /// Background scrub engine counters (visits, expired-block
+    /// rewrites, lost idle-bank arbitrations).
+    pub scrub: ScrubStats,
     /// Mean bank utilization (Figs. 3 and 12).
     pub avg_bank_utilization: f64,
     /// Fraction of the measured window spent in write drains (Fig. 13).
@@ -113,6 +119,8 @@ impl Metrics {
             capacity_95_years: ctrl.capacity_years(horizon, 0.95),
             usable_capacity_fraction: ctrl.usable_capacity_fraction(),
             faults: ctrl.fault_stats(),
+            retention: ctrl.retention_stats().clone(),
+            scrub: ctrl.scrub_stats().clone(),
             avg_bank_utilization: ctrl.avg_bank_utilization(elapsed.max(Duration::from_ns(1))),
             drain_fraction: ctrl
                 .drain_time(now)
@@ -201,6 +209,8 @@ impl mellow_engine::json::JsonField for Metrics {
             capacity_95_years,
             usable_capacity_fraction,
             faults,
+            retention,
+            scrub,
             avg_bank_utilization,
             drain_fraction,
             total_wear,
@@ -233,6 +243,8 @@ impl mellow_engine::json::JsonField for Metrics {
                 capacity_95_years,
                 usable_capacity_fraction,
                 faults,
+                retention,
+                scrub,
                 avg_bank_utilization,
                 drain_fraction,
                 total_wear,
@@ -270,6 +282,8 @@ mod tests {
             capacity_95_years: 4.5,
             usable_capacity_fraction: 1.0,
             faults: FaultStats::default(),
+            retention: RetentionStats::default(),
+            scrub: ScrubStats::default(),
             avg_bank_utilization: 0.25,
             drain_fraction: 0.01,
             total_wear: 10.0,
@@ -321,6 +335,16 @@ mod tests {
                 spares_remaining: 126,
                 uncorrectable: 1,
             },
+            retention: RetentionStats {
+                demand_verify_failures: 5,
+                repairs: 6,
+                retention_uncorrectable: 2,
+            },
+            scrub: ScrubStats {
+                scrub_reads: 900,
+                scrub_rewrites: 3,
+                scrub_bank_conflicts: 11,
+            },
             avg_bank_utilization: 1.0 / 3.0,
             drain_fraction: 0.01,
             total_wear: 1234.5,
@@ -362,6 +386,8 @@ mod tests {
         assert_eq!(back.capacity_95_years, f64::INFINITY);
         assert_eq!(back.usable_capacity_fraction.to_bits(), (0.75f64).to_bits());
         assert_eq!(back.faults, m.faults);
+        assert_eq!(back.retention, m.retention);
+        assert_eq!(back.scrub, m.scrub);
         assert_eq!(back.ctrl, m.ctrl);
         assert_eq!(back.llc, m.llc);
         assert_eq!(back.energy_ops, m.energy_ops);
@@ -387,6 +413,8 @@ mod tests {
             capacity_95_years: 0.0,
             usable_capacity_fraction: 1.0,
             faults: FaultStats::default(),
+            retention: RetentionStats::default(),
+            scrub: ScrubStats::default(),
             avg_bank_utilization: 0.0,
             drain_fraction: 0.0,
             total_wear: 0.0,
@@ -423,6 +451,8 @@ mod tests {
             capacity_95_years: 0.0,
             usable_capacity_fraction: 1.0,
             faults: FaultStats::default(),
+            retention: RetentionStats::default(),
+            scrub: ScrubStats::default(),
             avg_bank_utilization: 0.0,
             drain_fraction: 0.0,
             total_wear: 0.0,

@@ -44,15 +44,20 @@ fn fnv1a(text: &str) -> u64 {
 }
 
 /// Serializes a metrics row exactly as the pre-trait controller did:
-/// the `leveler` / `leveling` keys this PR added are stripped from the
-/// top-level object so the hash compares the fields both versions
-/// share (on pre-trait rows the strip is the identity).
+/// the `leveler` / `leveling` keys this PR added — and the
+/// `retention` / `scrub` blocks the retention layer added later (all
+/// zeros with the layer disabled; its own additivity suite pins the
+/// disabled layer bit-identical) — are stripped from the top-level
+/// object so the hash compares the fields both versions share (on
+/// pre-trait rows the strip is the identity).
 fn legacy_json(m: &mellow_writes::sim::Metrics) -> String {
     match m.to_json() {
         Json::Obj(pairs) => Json::Obj(
             pairs
                 .into_iter()
-                .filter(|(k, _)| k != "leveler" && k != "leveling")
+                .filter(|(k, _)| {
+                    k != "leveler" && k != "leveling" && k != "retention" && k != "scrub"
+                })
                 .collect(),
         )
         .to_string(),
